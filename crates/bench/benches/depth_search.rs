@@ -1,0 +1,45 @@
+//! The §5 client cost: a full locate (depth search + DHT routing per
+//! probe) against a realistically deep tree, fresh vs depth-hinted.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clash_bench::{heated_cluster, key_stream};
+
+fn bench_locate(c: &mut Criterion) {
+    let mut cluster = heated_cluster(200, 4000, 11);
+    let keys = key_stream(4096, 77);
+    let mut i = 0usize;
+    c.bench_function("locate: fresh depth search (deep tree)", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cluster.locate(keys[i]).expect("locate"))
+        })
+    });
+    let mut hint = 6;
+    let mut j = 0usize;
+    c.bench_function("locate: hinted depth search (deep tree)", |b| {
+        b.iter(|| {
+            j = (j + 1) % keys.len();
+            let placement = cluster
+                .locate_hinted(keys[j], Some(hint))
+                .expect("locate");
+            hint = placement.depth;
+            black_box(placement)
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let cluster = heated_cluster(200, 4000, 11);
+    let keys = key_stream(4096, 78);
+    let mut i = 0usize;
+    c.bench_function("oracle locate (no protocol, baseline)", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cluster.oracle_locate(keys[i]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_locate, bench_oracle);
+criterion_main!(benches);

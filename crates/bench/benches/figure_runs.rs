@@ -1,0 +1,78 @@
+//! End-to-end simulation throughput, one cell per figure: a miniature
+//! Figure 4 phase (CLASH and DHT(6)) and a miniature Figure 5 overhead
+//! cell. These track the cost of regenerating the evaluation, not the
+//! protocol itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clash_core::config::ClashConfig;
+use clash_sim::driver::SimDriver;
+use clash_simkernel::time::SimDuration;
+use clash_workload::scenario::{Phase, ScenarioSpec};
+use clash_workload::skew::WorkloadKind;
+
+fn mini_spec(workload: WorkloadKind, stream_packets: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        servers: 24,
+        sources: 1200,
+        query_clients: 0,
+        phases: vec![Phase {
+            workload,
+            duration: SimDuration::from_mins(10),
+        }],
+        mean_stream_packets: stream_packets,
+        load_check_period: SimDuration::from_mins(1),
+        sample_period: SimDuration::from_mins(1),
+        ..ScenarioSpec::paper()
+    }
+}
+
+fn mini_config(splitting: bool) -> ClashConfig {
+    if splitting {
+        ClashConfig {
+            capacity: 250.0,
+            ..ClashConfig::paper()
+        }
+    } else {
+        ClashConfig {
+            capacity: 250.0,
+            ..ClashConfig::dht_baseline(6)
+        }
+    }
+}
+
+fn bench_fig4_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure 4 cell (10 sim-minutes, workload C)");
+    group.sample_size(10);
+    group.bench_function("CLASH", |b| {
+        b.iter(|| {
+            let driver = SimDriver::new(mini_config(true), mini_spec(WorkloadKind::C, 1000.0))
+                .expect("valid");
+            black_box(driver.run().expect("run"))
+        })
+    });
+    group.bench_function("DHT(6)", |b| {
+        b.iter(|| {
+            let driver = SimDriver::new(mini_config(false), mini_spec(WorkloadKind::C, 1000.0))
+                .expect("valid");
+            black_box(driver.run().expect("run"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure 5 cell (10 sim-minutes, Ld=50)");
+    group.sample_size(10);
+    group.bench_function("workload B, heavy churn", |b| {
+        b.iter(|| {
+            let driver = SimDriver::new(mini_config(true), mini_spec(WorkloadKind::B, 50.0))
+                .expect("valid");
+            black_box(driver.run().expect("run"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_cell, bench_fig5_cell);
+criterion_main!(benches);

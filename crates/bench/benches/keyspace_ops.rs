@@ -1,0 +1,44 @@
+//! Micro-benchmarks for the §4 key-space primitives: `Shape()` (prefix
+//! extraction + virtual key), group splitting, and the hash `f()`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clash_keyspace::hash::{HashSpace, KeyHasher, SplitMixHasher};
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+
+fn bench_shape(c: &mut Criterion) {
+    let key = Key::from_bits_truncated(0xA5_5A7B, KeyWidth::PAPER);
+    c.bench_function("shape: prefix-of-key + virtual key (d=13)", |b| {
+        b.iter(|| {
+            let group = Prefix::of_key(black_box(key), black_box(13));
+            black_box(group.virtual_key())
+        })
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    let group = Prefix::new(0b011010, 6, KeyWidth::PAPER).expect("valid");
+    c.bench_function("prefix split into children", |b| {
+        b.iter(|| black_box(group).split().expect("splittable"))
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let hasher = SplitMixHasher::new(HashSpace::PAPER, 42);
+    let key = Key::from_bits_truncated(0xA5_5A7B, KeyWidth::PAPER);
+    c.bench_function("hash f(): virtual key -> 24-bit hash", |b| {
+        b.iter(|| hasher.hash_key(black_box(key)))
+    });
+}
+
+fn bench_common_prefix(c: &mut Criterion) {
+    let a = Key::from_bits_truncated(0xA5_5A7B, KeyWidth::PAPER);
+    let b2 = Key::from_bits_truncated(0xA5_5F00, KeyWidth::PAPER);
+    c.bench_function("common prefix length of two keys", |b| {
+        b.iter(|| black_box(a).common_prefix_len(black_box(b2)).expect("same width"))
+    });
+}
+
+criterion_group!(benches, bench_shape, bench_split, bench_hash, bench_common_prefix);
+criterion_main!(benches);

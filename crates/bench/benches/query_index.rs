@@ -1,0 +1,57 @@
+//! Continuous-query substrate costs: packet matching against the query
+//! trie and group extraction for state migration (§6's application work).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+use clash_simkernel::rng::DetRng;
+use clash_streamquery::engine::QueryEngine;
+use clash_streamquery::query::ContinuousQuery;
+
+fn engine_with(queries: usize, seed: u64) -> QueryEngine {
+    let width = KeyWidth::PAPER;
+    let mut engine = QueryEngine::new(width);
+    let mut rng = DetRng::new(seed);
+    for id in 0..queries as u64 {
+        let depth = 4 + rng.uniform_u64(16) as u32;
+        let pattern = rng.next_u64() & ((1u64 << depth) - 1);
+        let region = Prefix::new(pattern, depth, width).expect("valid");
+        engine.register(ContinuousQuery::new(id, region));
+    }
+    engine
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query matching per packet");
+    for &n in &[100usize, 1000, 10_000] {
+        let engine = engine_with(n, 5);
+        let mut rng = DetRng::new(9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let key = Key::from_bits_truncated(rng.next_u64(), KeyWidth::PAPER);
+                black_box(engine.index().count_matches(key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    c.bench_function("extract+reinsert one key group (1000 queries)", |b| {
+        b.iter_batched(
+            || engine_with(1000, 6),
+            |mut engine| {
+                let group = Prefix::new(0b0110, 4, KeyWidth::PAPER).expect("valid");
+                let moved = engine.extract_group(group);
+                let mut target = QueryEngine::new(KeyWidth::PAPER);
+                target.register_all(moved);
+                black_box(target.query_count())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_migration);
+criterion_main!(benches);

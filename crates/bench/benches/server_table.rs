@@ -1,0 +1,58 @@
+//! `ServerTable` costs: the §5 `ACCEPT_OBJECT` case analysis (longest
+//! prefix match over the entries) and the `d_min` computation, at
+//! realistic table sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clash_core::config::ClashConfig;
+use clash_core::server::ClashServer;
+use clash_core::ServerId;
+use clash_keyspace::key::Key;
+use clash_keyspace::prefix::Prefix;
+
+/// Builds a server with a left-spine split chain of the given length
+/// (each split adds an inactive parent + active left child — the densest
+/// realistic table shape).
+fn chained_server(splits: u32) -> ClashServer {
+    let config = ClashConfig::paper();
+    let id = ServerId::new(1, config.hash_space);
+    let mut server = ClashServer::new(id, config);
+    let mut group = Prefix::new(0b011010, 6, config.key_width).expect("valid");
+    server.bootstrap_root(group).expect("fresh");
+    for _ in 0..splits {
+        let (left, _right) = server.split_group(group).expect("splittable");
+        server.set_right_child(group, id).expect("split");
+        group = left;
+    }
+    server
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accept_object classification");
+    for &splits in &[2u32, 8, 16] {
+        let server = chained_server(splits);
+        // A key owned by the deepest leaf.
+        let owned = Prefix::new(0b011010, 6, ClashConfig::paper().key_width)
+            .expect("valid")
+            .virtual_key();
+        // A key far away (worst-case d_min walk).
+        let foreign = Key::from_bits_truncated(!owned.bits(), owned.width());
+        group.bench_with_input(BenchmarkId::new("owned", splits), &splits, |b, _| {
+            b.iter(|| server.table().classify_object(black_box(owned), 9))
+        });
+        group.bench_with_input(BenchmarkId::new("foreign", splits), &splits, |b, _| {
+            b.iter(|| server.table().classify_object(black_box(foreign), 9))
+        });
+    }
+    group.finish();
+}
+
+fn bench_load_computation(c: &mut Criterion) {
+    let server = chained_server(16);
+    c.bench_function("server load over 17 active groups", |b| {
+        b.iter(|| black_box(server.current_load()))
+    });
+}
+
+criterion_group!(benches, bench_classify, bench_load_computation);
+criterion_main!(benches);

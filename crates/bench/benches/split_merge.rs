@@ -1,0 +1,71 @@
+//! Protocol action costs: one binary split (with ledger repartition and
+//! DHT placement of the right child) and one consolidation, through the
+//! full cluster path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_keyspace::key::Key;
+
+/// A cluster with one hot group ready to split on every iteration.
+fn hot_cluster() -> ClashCluster {
+    let config = ClashConfig {
+        capacity: 1e9, // never auto-split; the bench drives checks itself
+        ..ClashConfig::small_test()
+    };
+    let mut cluster = ClashCluster::new(config, 16, 3).expect("valid");
+    for i in 0..64u64 {
+        let key = Key::from_bits_truncated(0b0100_0000 | (i % 64), config.key_width);
+        cluster.attach_source(i, key, 2.0).expect("attach");
+    }
+    cluster
+}
+
+fn bench_load_check_cycle(c: &mut Criterion) {
+    // Full split-until-nominal followed by merge-back, via run_load_check.
+    c.bench_function("heat/cool cycle: split cascade + consolidation", |b| {
+        b.iter_batched(
+            || {
+                let config = ClashConfig {
+                    capacity: 40.0,
+                    ..ClashConfig::small_test()
+                };
+                let mut cluster = ClashCluster::new(config, 16, 3).expect("valid");
+                for i in 0..64u64 {
+                    let key =
+                        Key::from_bits_truncated(0b0100_0000 | (i % 64), config.key_width);
+                    cluster.attach_source(i, key, 2.0).expect("attach");
+                }
+                cluster
+            },
+            |mut cluster| {
+                cluster.run_load_check().expect("check");
+                for i in 0..64u64 {
+                    cluster.detach_source(i).expect("detach");
+                }
+                for _ in 0..4 {
+                    cluster.run_load_check().expect("check");
+                }
+                black_box(cluster.depth_stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_attach_detach(c: &mut Criterion) {
+    let mut cluster = hot_cluster();
+    let mut id = 1_000u64;
+    c.bench_function("attach+detach source (locate + ledger update)", |b| {
+        b.iter(|| {
+            id += 1;
+            let key = Key::from_bits_truncated(id * 37, cluster.config().key_width);
+            cluster.attach_source(id, key, 1.0).expect("attach");
+            cluster.detach_source(id).expect("detach");
+        })
+    });
+}
+
+criterion_group!(benches, bench_load_check_cycle, bench_attach_detach);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches mirror the paper's evaluation artifacts:
+//!
+//! | bench target | what it measures |
+//! |---|---|
+//! | `keyspace_ops` | `Shape()`, splits, hashing — the §4 primitives |
+//! | `chord_lookup` | `Map()` routing cost vs ring size — O(log S) |
+//! | `server_table` | `ACCEPT_OBJECT` classification and `d_min` (§5) |
+//! | `depth_search` | full client locate, fresh vs depth-hinted (§5) |
+//! | `query_index` | continuous-query matching & migration (§6 app) |
+//! | `split_merge` | binary splitting / consolidation actions (§4) |
+//! | `figure_runs` | end-to-end simulation throughput per Figure 4/5 cell |
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_simkernel::rng::DetRng;
+use clash_workload::skew::{Workload, WorkloadKind};
+
+/// Builds a cluster heated with workload C so that the logical tree is
+/// deep — the realistic state for lookup/search benchmarks.
+///
+/// # Panics
+///
+/// Panics on configuration errors (benchmark fixtures are infallible).
+pub fn heated_cluster(servers: usize, sources: usize, seed: u64) -> ClashCluster {
+    let config = ClashConfig {
+        capacity: (sources as f64 * 2.0 / 40.0).max(50.0),
+        ..ClashConfig::paper()
+    };
+    let mut cluster = ClashCluster::new(config, servers, seed).expect("valid config");
+    let workload = Workload::paper(WorkloadKind::C);
+    let mut rng = DetRng::new(seed ^ 0xBEEF);
+    for i in 0..sources as u64 {
+        let key = workload.sample_key(config.key_width, &mut rng);
+        cluster.attach_source(i, key, 2.0).expect("attach");
+    }
+    for _ in 0..6 {
+        cluster.run_load_check().expect("load check");
+    }
+    cluster
+}
+
+/// A deterministic stream of workload-C keys for lookup benchmarks.
+pub fn key_stream(n: usize, seed: u64) -> Vec<clash_keyspace::key::Key> {
+    let workload = Workload::paper(WorkloadKind::C);
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|_| workload.sample_key(clash_keyspace::key::KeyWidth::PAPER, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heated_cluster_is_deep_and_consistent() {
+        let cluster = heated_cluster(32, 1500, 7);
+        let (_, _, max_depth) = cluster.depth_stats().expect("groups exist");
+        assert!(max_depth > 6, "expected a deep tree, got {max_depth}");
+        cluster.verify_consistency();
+    }
+
+    #[test]
+    fn key_stream_is_deterministic() {
+        assert_eq!(key_stream(10, 3), key_stream(10, 3));
+        assert_ne!(key_stream(10, 3), key_stream(10, 4));
+    }
+}

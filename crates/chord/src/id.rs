@@ -1,0 +1,186 @@
+//! Ring identifiers and wrapping interval arithmetic.
+
+use std::fmt;
+
+use clash_keyspace::hash::HashSpace;
+
+/// An identifier on the Chord ring: a point in an M-bit circular space.
+///
+/// # Example
+///
+/// ```
+/// use clash_chord::id::ChordId;
+/// use clash_keyspace::hash::HashSpace;
+///
+/// let space = HashSpace::new(8)?;
+/// let a = ChordId::new(250, space);
+/// let b = ChordId::new(5, space);
+/// // Distance wraps around the ring.
+/// assert_eq!(a.distance_to(b), 11);
+/// assert_eq!(a.add_power_of_two(3).value(), 2); // 250 + 8 mod 256
+/// # Ok::<(), clash_keyspace::error::KeyError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChordId {
+    value: u64,
+    space: HashSpace,
+}
+
+impl ChordId {
+    /// Creates an identifier, masking `value` into the space.
+    pub fn new(value: u64, space: HashSpace) -> Self {
+        ChordId {
+            value: value & space.mask(),
+            space,
+        }
+    }
+
+    /// The numeric position on the ring.
+    pub const fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The ring's hash space.
+    pub const fn space(self) -> HashSpace {
+        self.space
+    }
+
+    /// Clockwise distance from `self` to `other` (0 when equal).
+    pub fn distance_to(self, other: ChordId) -> u64 {
+        debug_assert_eq!(self.space, other.space);
+        other.value.wrapping_sub(self.value) & self.space.mask()
+    }
+
+    /// `self + 2^k` on the ring — the start of the k-th finger interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not less than the space's bit count.
+    pub fn add_power_of_two(self, k: u32) -> ChordId {
+        assert!(k < self.space.bits(), "finger index {k} out of range");
+        ChordId::new(self.value.wrapping_add(1u64 << k), self.space)
+    }
+
+    /// True if `self` lies in the open interval `(a, b)` on the ring.
+    ///
+    /// When `a == b` the interval is the whole ring excluding `a` (the
+    /// standard Chord convention for a one-node ring).
+    pub fn in_open_interval(self, a: ChordId, b: ChordId) -> bool {
+        debug_assert_eq!(self.space, a.space);
+        debug_assert_eq!(self.space, b.space);
+        if a.value == b.value {
+            return self.value != a.value;
+        }
+        // Map everything to distance from a: (a, b) becomes (0, d(a,b)).
+        let d_end = a.distance_to(b);
+        let d_self = a.distance_to(self);
+        d_self > 0 && d_self < d_end
+    }
+
+    /// True if `self` lies in the half-open interval `(a, b]` on the ring
+    /// (the successor-ownership test).
+    ///
+    /// When `a == b` the interval is the whole ring (everything is owned).
+    pub fn in_half_open_interval(self, a: ChordId, b: ChordId) -> bool {
+        debug_assert_eq!(self.space, a.space);
+        debug_assert_eq!(self.space, b.space);
+        if a.value == b.value {
+            return true;
+        }
+        let d_end = a.distance_to(b);
+        let d_self = a.distance_to(self);
+        d_self > 0 && d_self <= d_end
+    }
+}
+
+impl fmt::Display for ChordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$x}", self.value, width = (self.space.bits() as usize).div_ceil(4))
+    }
+}
+
+impl fmt::Debug for ChordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChordId({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> HashSpace {
+        HashSpace::new(8).unwrap()
+    }
+
+    fn id(v: u64) -> ChordId {
+        ChordId::new(v, sp())
+    }
+
+    #[test]
+    fn construction_masks_value() {
+        assert_eq!(ChordId::new(300, sp()).value(), 300 & 0xFF);
+    }
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(id(10).distance_to(id(20)), 10);
+        assert_eq!(id(250).distance_to(id(5)), 11);
+        assert_eq!(id(7).distance_to(id(7)), 0);
+    }
+
+    #[test]
+    fn add_power_of_two_wraps() {
+        assert_eq!(id(250).add_power_of_two(3).value(), 2);
+        assert_eq!(id(0).add_power_of_two(7).value(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_power_of_two_bounds() {
+        id(0).add_power_of_two(8);
+    }
+
+    #[test]
+    fn open_interval_no_wrap() {
+        assert!(id(5).in_open_interval(id(1), id(10)));
+        assert!(!id(1).in_open_interval(id(1), id(10)));
+        assert!(!id(10).in_open_interval(id(1), id(10)));
+        assert!(!id(11).in_open_interval(id(1), id(10)));
+    }
+
+    #[test]
+    fn open_interval_wrapping() {
+        assert!(id(254).in_open_interval(id(250), id(5)));
+        assert!(id(2).in_open_interval(id(250), id(5)));
+        assert!(!id(5).in_open_interval(id(250), id(5)));
+        assert!(!id(100).in_open_interval(id(250), id(5)));
+    }
+
+    #[test]
+    fn open_interval_degenerate_is_ring_minus_point() {
+        assert!(id(3).in_open_interval(id(7), id(7)));
+        assert!(!id(7).in_open_interval(id(7), id(7)));
+    }
+
+    #[test]
+    fn half_open_interval_includes_end() {
+        assert!(id(10).in_half_open_interval(id(1), id(10)));
+        assert!(!id(1).in_half_open_interval(id(1), id(10)));
+        assert!(id(5).in_half_open_interval(id(250), id(5)));
+        assert!(!id(250).in_half_open_interval(id(250), id(5)));
+    }
+
+    #[test]
+    fn half_open_degenerate_is_whole_ring() {
+        assert!(id(3).in_half_open_interval(id(7), id(7)));
+        assert!(id(7).in_half_open_interval(id(7), id(7)));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(id(5).to_string(), "05");
+        let wide = ChordId::new(0xABCDEF, HashSpace::new(24).unwrap());
+        assert_eq!(wide.to_string(), "abcdef");
+    }
+}

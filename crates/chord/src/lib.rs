@@ -1,0 +1,48 @@
+//! Chord DHT substrate for the CLASH reproduction.
+//!
+//! CLASH (Misra, Castro & Lee, ICDCS 2004) is a redirection layer that
+//! "leaves the base DHT protocol unchanged" (§2) and consumes exactly two
+//! things from it: the `Map()` function (which server currently owns a hash
+//! value) and its O(log S) lookup cost. The paper's simulator extends the
+//! MIT Chord simulator; this crate is the equivalent from-scratch Chord
+//! ([Stoica et al., SIGCOMM 2001]) built for deterministic in-process
+//! simulation:
+//!
+//! * [`id::ChordId`] — M-bit ring identifiers with wrapping interval
+//!   arithmetic;
+//! * [`node::ChordNode`] — per-node state: successor list, predecessor,
+//!   finger table;
+//! * [`net::SimNet`] — the in-process network: iterative
+//!   `find_successor` with per-hop counting, node join/leave/fail,
+//!   stabilization and finger repair;
+//! * [`virtual_nodes::VirtualRing`] — CFS-style virtual servers (used by
+//!   the ablation experiments).
+//!
+//! # Example
+//!
+//! ```
+//! use clash_chord::net::SimNet;
+//! use clash_keyspace::hash::HashSpace;
+//! use clash_simkernel::rng::DetRng;
+//!
+//! let mut rng = DetRng::new(7);
+//! let mut net = SimNet::with_random_nodes(HashSpace::PAPER, 64, &mut rng);
+//! net.build_stable();
+//!
+//! // Look up an arbitrary hash from an arbitrary node: the result is the
+//! // ring successor, reached in O(log S) hops.
+//! let start = net.node_ids()[0];
+//! let result = net.find_successor(start, 0x123456);
+//! assert_eq!(Some(result.owner), net.owner_of(0x123456));
+//! assert!(result.hops <= 12);
+//! ```
+
+pub mod id;
+pub mod net;
+pub mod node;
+pub mod virtual_nodes;
+
+pub use id::ChordId;
+pub use net::{LookupResult, SimNet};
+pub use node::ChordNode;
+pub use virtual_nodes::VirtualRing;

@@ -1,0 +1,747 @@
+//! The in-process Chord network: routing, membership and maintenance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use clash_keyspace::hash::HashSpace;
+use clash_simkernel::rng::DetRng;
+
+use crate::id::ChordId;
+use crate::node::ChordNode;
+
+/// Result of one `find_successor` lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The node owning the target hash.
+    pub owner: ChordId,
+    /// Inter-node messages used to resolve the lookup (0 when the start
+    /// node already owns the target).
+    pub hops: u32,
+}
+
+/// Aggregate lookup statistics (feeds the O(log S) validation and the
+/// Figure 5 message accounting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Number of lookups performed.
+    pub lookups: u64,
+    /// Total hops across all lookups.
+    pub total_hops: u64,
+    /// Largest single-lookup hop count.
+    pub max_hops: u32,
+}
+
+impl NetStats {
+    /// Mean hops per lookup (0 when no lookups were made).
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A simulated Chord ring.
+///
+/// All nodes live in one process; "messages" are method calls with hop
+/// counting. Failed nodes keep their (stale) state but are invisible to
+/// routing, exactly as a crashed host would be; [`SimNet::stabilize_round`]
+/// and [`SimNet::fix_fingers_round`] implement the Chord maintenance
+/// protocol that repairs pointers around failures and joins.
+pub struct SimNet {
+    space: HashSpace,
+    nodes: BTreeMap<u64, ChordNode>,
+    succ_list_len: usize,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates an empty ring over the given hash space with the Chord
+    /// default successor-list length (`⌈log₂ expected-nodes⌉` is typical;
+    /// we default to 8).
+    pub fn new(space: HashSpace) -> Self {
+        SimNet {
+            space,
+            nodes: BTreeMap::new(),
+            succ_list_len: 8,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Sets the successor-list length (fault-tolerance depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn set_successor_list_len(&mut self, len: usize) {
+        assert!(len > 0, "successor list length must be positive");
+        self.succ_list_len = len;
+    }
+
+    /// Creates a ring with `n` distinct random node identifiers (not yet
+    /// stabilized — call [`SimNet::build_stable`] or run the maintenance
+    /// protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the hash-space size.
+    pub fn with_random_nodes(space: HashSpace, n: usize, rng: &mut DetRng) -> Self {
+        assert!(
+            (n as u128) <= space.size(),
+            "cannot place {n} nodes in a {space} hash space"
+        );
+        let mut net = SimNet::new(space);
+        while net.nodes.len() < n {
+            let id = ChordId::new(rng.next_u64(), space);
+            net.add_node(id);
+        }
+        net
+    }
+
+    /// The ring's hash space.
+    pub fn space(&self) -> HashSpace {
+        self.space
+    }
+
+    /// Adds a solitary (unwired) node. Returns false if the identifier is
+    /// already taken.
+    pub fn add_node(&mut self, id: ChordId) -> bool {
+        debug_assert_eq!(id.space(), self.space);
+        if self.nodes.contains_key(&id.value()) {
+            return false;
+        }
+        self.nodes.insert(id.value(), ChordNode::solitary(id));
+        true
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.is_alive()).count()
+    }
+
+    /// Identifiers of all alive nodes, in ring order.
+    pub fn node_ids(&self) -> Vec<ChordId> {
+        self.nodes
+            .values()
+            .filter(|n| n.is_alive())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, id: ChordId) -> Option<&ChordNode> {
+        self.nodes.get(&id.value())
+    }
+
+    /// True if `id` names an alive node.
+    pub fn is_alive(&self, id: ChordId) -> bool {
+        self.nodes.get(&id.value()).is_some_and(|n| n.is_alive())
+    }
+
+    /// A uniformly random alive node (for client entry points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has no alive nodes.
+    pub fn random_alive(&self, rng: &mut DetRng) -> ChordId {
+        let ids = self.node_ids();
+        assert!(!ids.is_empty(), "ring has no alive nodes");
+        ids[rng.uniform_index(ids.len())]
+    }
+
+    /// Ground truth: the alive node owning hash `h` (its ring successor),
+    /// or `None` on an empty ring. O(log S) on the in-memory map; used for
+    /// bootstrap and validation, not by the routed protocol.
+    pub fn owner_of(&self, h: u64) -> Option<ChordId> {
+        let h = h & self.space.mask();
+        self.nodes
+            .range(h..)
+            .chain(self.nodes.range(..h))
+            .find(|(_, n)| n.is_alive())
+            .map(|(_, n)| n.id())
+    }
+
+    /// Ground truth: the alive node strictly preceding `h` on the ring.
+    pub fn predecessor_of(&self, h: u64) -> Option<ChordId> {
+        let h = h & self.space.mask();
+        self.nodes
+            .range(..h)
+            .rev()
+            .chain(self.nodes.range(h..).rev())
+            .find(|(_, n)| n.is_alive())
+            .map(|(_, n)| n.id())
+    }
+
+    /// Installs exact routing state on every alive node: perfect fingers,
+    /// successor lists and predecessors. Equivalent to running the
+    /// maintenance protocol to convergence, in O(S·M) time.
+    pub fn build_stable(&mut self) {
+        let ids: Vec<ChordId> = self.node_ids();
+        if ids.is_empty() {
+            return;
+        }
+        let m = self.space.bits() as usize;
+        let r = self.succ_list_len.min(ids.len());
+        // Precompute ring order once.
+        for (pos, &id) in ids.iter().enumerate() {
+            let succ_list: Vec<ChordId> =
+                (1..=r).map(|k| ids[(pos + k) % ids.len()]).collect();
+            let succ_list = if succ_list.is_empty() {
+                vec![id]
+            } else {
+                succ_list
+            };
+            let pred = ids[(pos + ids.len() - 1) % ids.len()];
+            let mut fingers = Vec::with_capacity(m);
+            for k in 0..m {
+                let target = id.add_power_of_two(k as u32);
+                let owner = self
+                    .owner_of(target.value())
+                    .expect("ring has alive nodes");
+                fingers.push(owner);
+            }
+            let node = self
+                .nodes
+                .get_mut(&id.value())
+                .expect("id from node_ids");
+            node.set_successor_list(succ_list);
+            node.set_predecessor(if ids.len() > 1 { Some(pred) } else { None });
+            for (k, f) in fingers.into_iter().enumerate() {
+                node.set_finger(k, f);
+            }
+        }
+    }
+
+    /// Pure routed lookup: resolves the successor of `h` starting at
+    /// `start` using only per-node state, counting hops. Does not touch
+    /// statistics; see [`SimNet::find_successor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not an alive node, or if routing degenerates
+    /// into a cycle (only possible when maintenance has never run after
+    /// severe membership changes).
+    pub fn route(&self, start: ChordId, h: u64) -> LookupResult {
+        assert!(self.is_alive(start), "lookup must start at an alive node");
+        let target = ChordId::new(h, self.space);
+        let mut current = start;
+        let mut hops = 0u32;
+        let hop_limit = 4 * self.space.bits() + self.nodes.len() as u32 + 8;
+        loop {
+            if target.value() == current.value() {
+                return LookupResult {
+                    owner: current,
+                    hops,
+                };
+            }
+            let node = &self.nodes[&current.value()];
+            let succ = self.first_alive_successor(node);
+            if succ == current {
+                // Solitary (or fully isolated) node owns everything.
+                return LookupResult {
+                    owner: current,
+                    hops,
+                };
+            }
+            if target.in_half_open_interval(current, succ) {
+                return LookupResult {
+                    owner: succ,
+                    hops: hops + 1,
+                };
+            }
+            let next = node.closest_preceding(target, |c| self.is_alive(c));
+            let next = if next == current { succ } else { next };
+            current = next;
+            hops += 1;
+            assert!(
+                hops <= hop_limit,
+                "routing cycle: {start:?} -> {h:#x} exceeded {hop_limit} hops"
+            );
+        }
+    }
+
+    fn first_alive_successor(&self, node: &ChordNode) -> ChordId {
+        node.successor_list()
+            .iter()
+            .copied()
+            .find(|&s| self.is_alive(s))
+            .unwrap_or_else(|| node.id())
+    }
+
+    /// Routed lookup with statistics recording — the `Map()` operation
+    /// CLASH builds on (§4 of the paper).
+    pub fn find_successor(&mut self, start: ChordId, h: u64) -> LookupResult {
+        let result = self.route(start, h);
+        self.stats.lookups += 1;
+        self.stats.total_hops += u64::from(result.hops);
+        self.stats.max_hops = self.stats.max_hops.max(result.hops);
+        result
+    }
+
+    /// Lookup statistics accumulated by [`SimNet::find_successor`].
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Clears lookup statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+
+    /// Joins a new node through `bootstrap`: routes a lookup for its own
+    /// identifier to find its successor, then relies on the maintenance
+    /// protocol to wire the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bootstrap` is not alive.
+    ///
+    /// Returns false if the identifier is already taken.
+    pub fn join(&mut self, new_id: ChordId, bootstrap: ChordId) -> bool {
+        assert!(self.is_alive(bootstrap), "bootstrap node must be alive");
+        if !self.add_node(new_id) {
+            return false;
+        }
+        let succ = self.route(bootstrap, new_id.value()).owner;
+        let node = self
+            .nodes
+            .get_mut(&new_id.value())
+            .expect("node just added");
+        node.set_successor_list(vec![succ]);
+        node.set_predecessor(None);
+        true
+    }
+
+    /// Marks a node failed (crash model: no goodbye messages).
+    ///
+    /// Returns false if the node was missing or already dead.
+    pub fn fail(&mut self, id: ChordId) -> bool {
+        match self.nodes.get_mut(&id.value()) {
+            Some(n) if n.is_alive() => {
+                n.mark_failed();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes failed nodes' state entirely (garbage collection).
+    pub fn remove_failed(&mut self) {
+        self.nodes.retain(|_, n| n.is_alive());
+    }
+
+    /// One round of Chord stabilization over every alive node (in ring
+    /// order): repair successor pointers, notify successors, refresh
+    /// successor lists. Returns true if any state changed.
+    pub fn stabilize_round(&mut self) -> bool {
+        let ids = self.node_ids();
+        let mut changed = false;
+        for id in ids {
+            changed |= self.stabilize_one(id);
+        }
+        changed
+    }
+
+    fn stabilize_one(&mut self, id: ChordId) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        let mut changed = false;
+        let node = &self.nodes[&id.value()];
+        let mut succ = self.first_alive_successor(node);
+        if succ == id && self.alive_count() > 1 {
+            // Lost all successors: re-discover via ground truth (models
+            // out-of-band rejoin, needed only after catastrophic failures).
+            succ = self
+                .owner_of(id.value().wrapping_add(1) & self.space.mask())
+                .expect("ring has alive nodes");
+        }
+        // successor's predecessor may be a closer successor for us.
+        if succ != id {
+            if let Some(x) = self.nodes[&succ.value()].predecessor() {
+                if self.is_alive(x) && x.in_open_interval(id, succ) {
+                    succ = x;
+                }
+            }
+        }
+        // Refresh our successor list from succ's list.
+        let mut list = vec![succ];
+        if succ != id {
+            let succ_node = &self.nodes[&succ.value()];
+            list.extend(
+                succ_node
+                    .successor_list()
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.is_alive(s) && s != id),
+            );
+        }
+        list.dedup();
+        list.truncate(self.succ_list_len);
+        let node = self.nodes.get_mut(&id.value()).expect("alive node");
+        if node.successor_list() != list.as_slice() {
+            node.set_successor_list(list);
+            changed = true;
+        }
+        // Drop a dead predecessor.
+        if let Some(p) = node.predecessor() {
+            if !self
+                .nodes
+                .get(&p.value())
+                .is_some_and(|n| n.is_alive())
+            {
+                self.nodes
+                    .get_mut(&id.value())
+                    .expect("alive node")
+                    .set_predecessor(None);
+                changed = true;
+            }
+        }
+        // Notify: tell succ about us.
+        if succ != id {
+            let current_pred = self.nodes[&succ.value()].predecessor();
+            let adopt = match current_pred {
+                None => true,
+                Some(p) => !self.is_alive_raw(p) || id.in_open_interval(p, succ),
+            };
+            if adopt && current_pred != Some(id) {
+                self.nodes
+                    .get_mut(&succ.value())
+                    .expect("alive succ")
+                    .set_predecessor(Some(id));
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn is_alive_raw(&self, id: ChordId) -> bool {
+        self.nodes.get(&id.value()).is_some_and(|n| n.is_alive())
+    }
+
+    /// One round of finger repair on every alive node: recompute each
+    /// finger by routing from the node itself. Returns true if any finger
+    /// changed.
+    pub fn fix_fingers_round(&mut self) -> bool {
+        let ids = self.node_ids();
+        let m = self.space.bits() as usize;
+        let mut changed = false;
+        for id in ids {
+            for k in 0..m {
+                let target = id.add_power_of_two(k as u32);
+                let owner = self.route(id, target.value()).owner;
+                let node = self.nodes.get_mut(&id.value()).expect("alive node");
+                if node.fingers()[k] != owner {
+                    node.set_finger(k, owner);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Runs stabilization and finger repair until quiescent or the round
+    /// budget is exhausted. Returns the number of rounds used.
+    pub fn stabilize_until_converged(&mut self, max_rounds: usize) -> usize {
+        for round in 1..=max_rounds {
+            let a = self.stabilize_round();
+            let b = self.fix_fingers_round();
+            if !a && !b {
+                return round;
+            }
+        }
+        max_rounds
+    }
+
+    /// True if every alive node's successor, predecessor and fingers match
+    /// ground truth — the post-condition of successful maintenance.
+    pub fn is_fully_stabilized(&self) -> bool {
+        let ids = self.node_ids();
+        if ids.is_empty() {
+            return true;
+        }
+        for (pos, &id) in ids.iter().enumerate() {
+            let node = &self.nodes[&id.value()];
+            let true_succ = ids[(pos + 1) % ids.len()];
+            if ids.len() > 1 && self.first_alive_successor(node) != true_succ {
+                return false;
+            }
+            let true_pred = ids[(pos + ids.len() - 1) % ids.len()];
+            if ids.len() > 1 && node.predecessor() != Some(true_pred) {
+                return false;
+            }
+            for k in 0..self.space.bits() as usize {
+                let target = id.add_power_of_two(k as u32);
+                let owner = self.owner_of(target.value()).expect("non-empty");
+                if node.fingers()[k] != owner {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("space", &self.space)
+            .field("nodes", &self.nodes.len())
+            .field("alive", &self.alive_count())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> HashSpace {
+        HashSpace::new(16).unwrap()
+    }
+
+    fn stable_net(n: usize, seed: u64) -> SimNet {
+        let mut rng = DetRng::new(seed);
+        let mut net = SimNet::with_random_nodes(space(), n, &mut rng);
+        net.build_stable();
+        net
+    }
+
+    #[test]
+    fn owner_of_matches_sorted_order() {
+        let mut net = SimNet::new(space());
+        for v in [100u64, 200, 300] {
+            net.add_node(ChordId::new(v, space()));
+        }
+        assert_eq!(net.owner_of(150).unwrap().value(), 200);
+        assert_eq!(net.owner_of(200).unwrap().value(), 200);
+        assert_eq!(net.owner_of(301).unwrap().value(), 100); // wraps
+        assert_eq!(net.owner_of(50).unwrap().value(), 100);
+    }
+
+    #[test]
+    fn predecessor_of_matches_sorted_order() {
+        let mut net = SimNet::new(space());
+        for v in [100u64, 200, 300] {
+            net.add_node(ChordId::new(v, space()));
+        }
+        assert_eq!(net.predecessor_of(150).unwrap().value(), 100);
+        assert_eq!(net.predecessor_of(100).unwrap().value(), 300); // wraps
+    }
+
+    #[test]
+    fn empty_ring_owner_is_none() {
+        let net = SimNet::new(space());
+        assert_eq!(net.owner_of(1), None);
+    }
+
+    #[test]
+    fn lookups_agree_with_ground_truth() {
+        let mut net = stable_net(100, 1);
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(2);
+        for _ in 0..500 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            let result = net.find_successor(start, h);
+            assert_eq!(Some(result.owner), net.owner_of(h), "h={h:#x}");
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let mut net = stable_net(256, 3);
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(4);
+        for _ in 0..2000 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            net.find_successor(start, h);
+        }
+        let stats = net.stats();
+        // Chord: mean ~ (1/2)·log2(S) = 4; max ~ log2(S) + slack.
+        assert!(stats.mean_hops() < 6.0, "mean hops {}", stats.mean_hops());
+        assert!(stats.max_hops <= 16, "max hops {}", stats.max_hops);
+    }
+
+    #[test]
+    fn lookup_scaling_with_ring_size() {
+        // Mean hops must grow roughly logarithmically, not linearly.
+        let mut means = Vec::new();
+        for &n in &[32usize, 256] {
+            let mut net = stable_net(n, 5);
+            let starts = net.node_ids();
+            let mut rng = DetRng::new(6);
+            for _ in 0..1000 {
+                let h = rng.next_u64() & space().mask();
+                let start = starts[rng.uniform_index(starts.len())];
+                net.find_successor(start, h);
+            }
+            means.push(net.stats().mean_hops());
+        }
+        // 8× more nodes → ~3 extra hops (log2 8), definitely < 3× increase.
+        assert!(
+            means[1] < means[0] * 3.0,
+            "hops scaled super-logarithmically: {means:?}"
+        );
+        assert!(means[1] > means[0], "more nodes should cost more hops");
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut net = SimNet::new(space());
+        let id = ChordId::new(42, space());
+        net.add_node(id);
+        net.build_stable();
+        let r = net.find_successor(id, 9999);
+        assert_eq!(r.owner, id);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn lookup_of_own_id_is_free() {
+        let mut net = stable_net(50, 7);
+        let id = net.node_ids()[10];
+        let r = net.find_successor(id, id.value());
+        assert_eq!(r.owner, id);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn duplicate_add_rejected() {
+        let mut net = SimNet::new(space());
+        let id = ChordId::new(1, space());
+        assert!(net.add_node(id));
+        assert!(!net.add_node(id));
+    }
+
+    #[test]
+    fn join_then_stabilize_converges() {
+        let mut net = stable_net(20, 8);
+        let bootstrap = net.node_ids()[0];
+        let mut rng = DetRng::new(9);
+        for _ in 0..10 {
+            let id = ChordId::new(rng.next_u64(), space());
+            net.join(id, bootstrap);
+        }
+        let rounds = net.stabilize_until_converged(64);
+        assert!(rounds < 64, "did not converge");
+        assert!(net.is_fully_stabilized());
+        assert_eq!(net.alive_count(), 30);
+    }
+
+    #[test]
+    fn joins_route_correctly_after_convergence() {
+        let mut net = stable_net(20, 10);
+        let bootstrap = net.node_ids()[0];
+        net.join(ChordId::new(0xBEEF, space()), bootstrap);
+        net.stabilize_until_converged(64);
+        let start = net.node_ids()[3];
+        let r = net.find_successor(start, 0xBEEF);
+        assert_eq!(r.owner.value(), 0xBEEF);
+    }
+
+    #[test]
+    fn failures_are_routed_around() {
+        let mut net = stable_net(64, 11);
+        let ids = net.node_ids();
+        // Fail 10 spread-out nodes.
+        for &id in ids.iter().step_by(6).take(10) {
+            net.fail(id);
+        }
+        net.stabilize_until_converged(64);
+        assert!(net.is_fully_stabilized());
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(12);
+        for _ in 0..300 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            let r = net.find_successor(start, h);
+            assert_eq!(Some(r.owner), net.owner_of(h));
+            assert!(net.is_alive(r.owner));
+        }
+    }
+
+    #[test]
+    fn routing_survives_failures_even_before_stabilization() {
+        // Successor lists give immediate fault tolerance: kill nodes and
+        // look up *without* running maintenance; owners must still be
+        // alive nodes (possibly not the exact ground-truth successor for
+        // keys owned by the dead node's range — but never a dead one).
+        let mut net = stable_net(64, 13);
+        let ids = net.node_ids();
+        for &id in ids.iter().take(5) {
+            net.fail(id);
+        }
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(14);
+        for _ in 0..200 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            let r = net.find_successor(start, h);
+            assert!(net.is_alive(r.owner), "routed to a dead node");
+        }
+    }
+
+    #[test]
+    fn mass_failure_recovery() {
+        let mut net = stable_net(40, 15);
+        let ids = net.node_ids();
+        for &id in ids.iter().take(20) {
+            net.fail(id);
+        }
+        net.stabilize_until_converged(128);
+        assert!(net.is_fully_stabilized());
+        assert_eq!(net.alive_count(), 20);
+    }
+
+    #[test]
+    fn remove_failed_garbage_collects() {
+        let mut net = stable_net(10, 16);
+        let victim = net.node_ids()[0];
+        net.fail(victim);
+        net.remove_failed();
+        assert_eq!(net.alive_count(), 9);
+        assert!(net.node(victim).is_none());
+    }
+
+    #[test]
+    fn build_stable_matches_maintenance_protocol() {
+        // Starting from solitary nodes, pure maintenance must reach the
+        // same state build_stable computes directly.
+        let mut rng = DetRng::new(17);
+        let net = SimNet::with_random_nodes(space(), 12, &mut rng);
+        let ids = net.node_ids();
+        // Build a second ring by joining everyone through ids[0].
+        let mut net2 = SimNet::new(space());
+        net2.add_node(ids[0]);
+        for &id in &ids[1..] {
+            net2.join(id, ids[0]);
+            net2.stabilize_until_converged(32);
+        }
+        assert!(net2.is_fully_stabilized());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut net = stable_net(32, 18);
+        let start = net.node_ids()[0];
+        net.find_successor(start, 1);
+        net.find_successor(start, 2);
+        assert_eq!(net.stats().lookups, 2);
+        net.reset_stats();
+        assert_eq!(net.stats().lookups, 0);
+        assert_eq!(net.stats().mean_hops(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alive node")]
+    fn lookup_from_dead_node_panics() {
+        let mut net = stable_net(5, 19);
+        let id = net.node_ids()[0];
+        net.fail(id);
+        net.route(id, 1);
+    }
+}

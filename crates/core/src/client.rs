@@ -1,0 +1,328 @@
+//! Client-side depth determination: the modified binary search of §5.
+//!
+//! A client inserting or querying a key `k` must find the *current depth*
+//! `d_c` of `k`'s active key group before the DHT can route to the right
+//! server. It probes with guessed depths; a wrong guess earns an
+//! `INCORRECT_DEPTH(d_min)` response carrying the longest prefix match
+//! between `k` and the contacted server's entries.
+//!
+//! # Why the update rules are sound
+//!
+//! Write `x = Shape(k, d)` for the zero-padded probe key. CLASH maintains
+//! the invariant that every active group `G` is owned by
+//! `Map(f(G.virtual_key))` (splits route right children through the DHT;
+//! left children keep the same virtual key). Two consequences, both
+//! encoded as property tests in this crate:
+//!
+//! 1. **If `d ≤ d_c`**, the group containing `x` is at least `d` deep (were
+//!    it shallower, its prefix would also be a prefix of `k`, contradicting
+//!    `d ≤ d_c`), and its zero-padded virtual key is exactly `x` — so the
+//!    contacted server `Map(f(x))` holds an entry sharing ≥ `d` bits with
+//!    `k`: the response satisfies `d_min ≥ d`.
+//! 2. **No server's entry shares more than `d_c − 1` bits with `k`** unless
+//!    it owns `k` (an entry sharing ≥ `d_c` bits would extend `k`'s active
+//!    group, which is impossible in a prefix-free cover) — so in every
+//!    `INCORRECT_DEPTH` response, `d_min ≤ d_c − 1`, i.e. `d_c ≥ d_min+1`.
+//!
+//! Together: `d_min ≥ d ⇒ d ≤ d_c` (raise `low` to `d_min+1`), and
+//! `d_min < d ⇒ d > d_c` (cap `high` at `d−1`, and still raise `low`).
+//! Every failed probe strictly shrinks `[low, high]`, and a probe at
+//! `d = d_c` contacts the true owner and succeeds — convergence is
+//! guaranteed, in at most ⌈log₂(N)⌉+1 probes (usually far fewer, because
+//! `d_min` jumps past many levels at once, matching the paper's
+//! observation).
+
+use crate::error::ClashError;
+use crate::messages::AcceptObjectResponse;
+
+/// The state of one depth search.
+///
+/// # Example
+///
+/// ```
+/// use clash_core::client::{DepthSearch, SearchOutcome};
+/// use clash_core::messages::AcceptObjectResponse;
+///
+/// let mut search = DepthSearch::new(24);
+/// let guess = search.next_guess();
+/// // The probed server was wrong and reported a 9-bit longest match:
+/// let outcome = search
+///     .record(guess, AcceptObjectResponse::IncorrectDepth { d_min: Some(9) })
+///     .unwrap();
+/// assert!(matches!(outcome, SearchOutcome::Continue { .. }));
+/// assert!(search.low() >= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepthSearch {
+    low: u32,
+    high: u32,
+    width: u32,
+    probes: u32,
+    hint: Option<u32>,
+}
+
+/// The result of recording a probe response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// The correct depth was found.
+    Found {
+        /// The confirmed depth.
+        depth: u32,
+        /// Total probes used.
+        probes: u32,
+    },
+    /// Keep probing with the suggested next guess.
+    Continue {
+        /// The next depth to try.
+        next_guess: u32,
+    },
+}
+
+impl DepthSearch {
+    /// Starts a search over depths `[0, width]`.
+    pub fn new(width: u32) -> Self {
+        DepthSearch {
+            low: 0,
+            high: width,
+            width,
+            probes: 0,
+            hint: None,
+        }
+    }
+
+    /// Starts a search with a first-guess hint (e.g. the depth from the
+    /// client's previous lookup — stream clients re-locate after every key
+    /// change, and the new depth is usually close to the old one).
+    pub fn with_hint(width: u32, hint: u32) -> Self {
+        DepthSearch {
+            hint: Some(hint.min(width)),
+            ..DepthSearch::new(width)
+        }
+    }
+
+    /// Current lower bound on the true depth.
+    pub fn low(&self) -> u32 {
+        self.low
+    }
+
+    /// Current upper bound on the true depth.
+    pub fn high(&self) -> u32 {
+        self.high
+    }
+
+    /// Probes recorded so far.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// The next depth to probe: the hint if fresh and in range, otherwise
+    /// the midpoint of the remaining range.
+    pub fn next_guess(&self) -> u32 {
+        if let Some(h) = self.hint {
+            if h >= self.low && h <= self.high {
+                return h;
+            }
+        }
+        self.low + (self.high - self.low) / 2
+    }
+
+    /// Records the server's response to a probe at `guess`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::SearchDiverged`] if the bounds cross or the
+    /// probe budget (`width + 2`) is exhausted — either indicates a broken
+    /// protocol invariant, not a normal condition.
+    pub fn record(
+        &mut self,
+        guess: u32,
+        response: AcceptObjectResponse,
+    ) -> Result<SearchOutcome, ClashError> {
+        self.probes += 1;
+        self.hint = None; // a hint is only good for the first probe
+        match response {
+            AcceptObjectResponse::Ok { depth } | AcceptObjectResponse::OkCorrected { depth } => {
+                Ok(SearchOutcome::Found {
+                    depth,
+                    probes: self.probes,
+                })
+            }
+            AcceptObjectResponse::IncorrectDepth { d_min } => {
+                match d_min {
+                    Some(d_min) if d_min >= guess => {
+                        // Property 1: the true depth is deeper than d_min.
+                        self.low = self.low.max(d_min + 1);
+                    }
+                    Some(d_min) => {
+                        // Both bounds: d_c ≥ d_min+1 and d_c < guess.
+                        self.low = self.low.max(d_min + 1);
+                        self.high = self.high.min(guess.saturating_sub(1));
+                    }
+                    None => {
+                        // An empty responder proves the guess was too deep
+                        // (see the module docs): d_c < guess.
+                        self.high = self.high.min(guess.saturating_sub(1));
+                    }
+                }
+                if self.low > self.high || self.probes > self.width + 2 {
+                    return Err(ClashError::SearchDiverged {
+                        probes: self.probes,
+                    });
+                }
+                Ok(SearchOutcome::Continue {
+                    next_guess: self.next_guess(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_on_ok() {
+        let mut s = DepthSearch::new(24);
+        let g = s.next_guess();
+        assert_eq!(g, 12);
+        let out = s.record(g, AcceptObjectResponse::Ok { depth: g }).unwrap();
+        assert_eq!(
+            out,
+            SearchOutcome::Found {
+                depth: 12,
+                probes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn corrected_depth_short_circuits() {
+        let mut s = DepthSearch::new(24);
+        let out = s
+            .record(12, AcceptObjectResponse::OkCorrected { depth: 7 })
+            .unwrap();
+        assert_eq!(out, SearchOutcome::Found { depth: 7, probes: 1 });
+    }
+
+    #[test]
+    fn dmin_above_guess_raises_low_only() {
+        let mut s = DepthSearch::new(24);
+        s.record(8, AcceptObjectResponse::IncorrectDepth { d_min: Some(13) })
+            .unwrap();
+        assert_eq!(s.low(), 14);
+        assert_eq!(s.high(), 24);
+    }
+
+    #[test]
+    fn dmin_below_guess_tightens_both() {
+        let mut s = DepthSearch::new(24);
+        s.record(16, AcceptObjectResponse::IncorrectDepth { d_min: Some(4) })
+            .unwrap();
+        assert_eq!(s.low(), 5);
+        assert_eq!(s.high(), 15);
+    }
+
+    #[test]
+    fn crossing_bounds_is_an_error() {
+        let mut s = DepthSearch::new(8);
+        s.record(6, AcceptObjectResponse::IncorrectDepth { d_min: Some(6) })
+            .unwrap();
+        assert_eq!(s.low(), 7);
+        // A contradictory response: caps high at 6, below low = 7.
+        let err = s.record(7, AcceptObjectResponse::IncorrectDepth { d_min: Some(1) });
+        assert!(matches!(err, Err(ClashError::SearchDiverged { .. })));
+    }
+
+    #[test]
+    fn empty_responder_lowers_high_only() {
+        let mut s = DepthSearch::new(24);
+        s.record(12, AcceptObjectResponse::IncorrectDepth { d_min: None })
+            .unwrap();
+        assert_eq!(s.low(), 0);
+        assert_eq!(s.high(), 11);
+    }
+
+    #[test]
+    fn hint_used_once() {
+        let mut s = DepthSearch::with_hint(24, 9);
+        assert_eq!(s.next_guess(), 9);
+        s.record(9, AcceptObjectResponse::IncorrectDepth { d_min: Some(9) })
+            .unwrap();
+        // After the first miss, back to midpoint of [10, 24].
+        assert_eq!(s.next_guess(), 17);
+    }
+
+    #[test]
+    fn out_of_range_hint_ignored() {
+        let s = DepthSearch::with_hint(8, 30);
+        assert_eq!(s.next_guess(), 8); // clamped to width, within [0,8]
+        let mut s2 = DepthSearch::with_hint(24, 3);
+        s2.record(20, AcceptObjectResponse::IncorrectDepth { d_min: Some(20) })
+            .unwrap();
+        // low is now 21; a stale hint of 3 must not be suggested.
+        assert!(s2.next_guess() >= 21);
+    }
+
+    #[test]
+    fn probe_budget_is_enforced() {
+        let mut s = DepthSearch::new(4);
+        // Keep feeding non-informative responses that never terminate.
+        let mut result = Ok(SearchOutcome::Continue { next_guess: 0 });
+        for _ in 0..10 {
+            let g = s.next_guess();
+            // d_min == guess keeps raising low by one... until it errors.
+            result = s.record(g, AcceptObjectResponse::IncorrectDepth { d_min: Some(g) });
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_err(), "budget should have tripped");
+    }
+
+    /// Simulated search against a ground-truth depth using responses that
+    /// follow the soundness properties: converges within log2(N)+1 probes.
+    #[test]
+    fn converges_against_honest_oracle() {
+        for width in [8u32, 16, 24] {
+            for true_depth in 0..=width {
+                let mut s = DepthSearch::new(width);
+                let mut found = None;
+                for _ in 0..(width + 2) {
+                    let g = s.next_guess();
+                    // Honest oracle: d == d_c → Ok; otherwise d_min follows
+                    // the worst-case-but-sound envelope.
+                    let resp = if g == true_depth {
+                        AcceptObjectResponse::Ok { depth: g }
+                    } else if g < true_depth {
+                        // property 1: d_min ≥ g, and ≤ d_c − 1.
+                        AcceptObjectResponse::IncorrectDepth { d_min: Some(g) }
+                    } else if true_depth == 0 {
+                        // d_c = 0: the single root group is the whole
+                        // cover, so every non-owner server is empty.
+                        AcceptObjectResponse::IncorrectDepth { d_min: None }
+                    } else {
+                        // property 2: d_min ≤ d_c − 1 < g.
+                        AcceptObjectResponse::IncorrectDepth {
+                            d_min: Some(true_depth - 1),
+                        }
+                    };
+                    match s.record(g, resp).unwrap() {
+                        SearchOutcome::Found { depth, probes } => {
+                            assert_eq!(depth, true_depth);
+                            let bound = 32 - (width + 1).leading_zeros() + 1;
+                            assert!(
+                                probes <= bound,
+                                "width {width} depth {true_depth}: {probes} probes > {bound}"
+                            );
+                            found = Some(depth);
+                            break;
+                        }
+                        SearchOutcome::Continue { .. } => {}
+                    }
+                }
+                assert_eq!(found, Some(true_depth));
+            }
+        }
+    }
+}

@@ -1,0 +1,1529 @@
+//! An in-process CLASH cluster: servers over a Chord ring, with the full
+//! message flow of §5 and per-message accounting.
+//!
+//! The cluster plays three roles:
+//!
+//! 1. **Protocol harness** — it moves `ACCEPT_OBJECT`, `ACCEPT_KEYGROUP`,
+//!    `RELEASE_KEYGROUP` and `LOAD_REPORT` messages between
+//!    [`ClashServer`]s, routing through the simulated Chord ring and
+//!    counting every message and hop ([`MessageStats`]).
+//! 2. **Data plane** — it tracks which streaming sources and continuous
+//!    queries currently sit in which key group (the per-group *ledgers*),
+//!    so splits and merges repartition load exactly.
+//! 3. **Oracle** — it maintains the global map of active groups
+//!    ([`ClashCluster::global_cover`]), which the tests use to verify the
+//!    protocol's invariants (the active groups always partition the key
+//!    space; every lookup lands on the true owner).
+//!
+//! The full-scale experiment driver (`clash-sim`) wraps this type with
+//! simulated time, workload generators and metric recording.
+
+use std::collections::BTreeMap;
+
+use clash_chord::net::SimNet;
+use clash_keyspace::cover::{PrefixCover, PrefixMap};
+use clash_keyspace::hash::{KeyHasher, SplitMixHasher};
+use clash_keyspace::key::Key;
+use clash_keyspace::prefix::Prefix;
+use clash_simkernel::rng::DetRng;
+
+use crate::client::{DepthSearch, SearchOutcome};
+use crate::config::ClashConfig;
+use crate::error::ClashError;
+use crate::load::{GroupLoad, LoadLevel};
+use crate::messages::ReleaseResponse;
+use crate::server::ClashServer;
+use crate::ServerId;
+
+/// Where an object (source or query) was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The server owning the object's key group.
+    pub server: ServerId,
+    /// The key group.
+    pub group: Prefix,
+    /// The group's depth (the `d_c` the client discovered).
+    pub depth: u32,
+    /// Probes the depth search needed (1 for the fixed-depth baseline).
+    pub probes: u32,
+}
+
+/// Message and action counters for the whole cluster (the Figure 5
+/// accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Depth-search probes issued.
+    pub probes: u64,
+    /// Messages spent on probes: DHT routing hops plus one response each.
+    pub probe_messages: u64,
+    /// Completed locate operations.
+    pub locates: u64,
+    /// Messages spent placing right children (routing hops +
+    /// `ACCEPT_KEYGROUP`).
+    pub split_messages: u64,
+    /// Messages spent on consolidation (`RELEASE_KEYGROUP` + response).
+    pub merge_messages: u64,
+    /// Remote leaf-to-parent load reports.
+    pub report_messages: u64,
+    /// State-transfer messages (one per migrated query object).
+    pub state_transfer_messages: u64,
+    /// Client redirect notifications after splits/merges (one per
+    /// affected source).
+    pub redirect_messages: u64,
+    /// Splits performed.
+    pub splits: u64,
+    /// Merges performed.
+    pub merges: u64,
+}
+
+impl MessageStats {
+    /// All control-plane messages (everything except state transfer) —
+    /// Figure 5's case (A). This is the *conservative* accounting: each
+    /// depth probe and `ACCEPT_KEYGROUP` placement is charged its full
+    /// O(log S) DHT routing cost.
+    pub fn control_messages(&self) -> u64 {
+        self.probe_messages + self.split_messages + self.merge_messages
+            + self.report_messages
+            + self.redirect_messages
+    }
+
+    /// Control messages counting only CLASH-protocol exchanges (request +
+    /// response per probe, one `ACCEPT_KEYGROUP` per completed split,
+    /// reports, releases, redirects) — treating DHT routing as substrate
+    /// cost the way the paper's Figure 5 most plausibly does.
+    pub fn protocol_control_messages(&self) -> u64 {
+        2 * self.probes + self.splits + self.merge_messages
+            + self.report_messages
+            + self.redirect_messages
+    }
+
+    /// All messages including state transfer — Figure 5's case (B).
+    pub fn total_messages(&self) -> u64 {
+        self.control_messages() + self.state_transfer_messages
+    }
+}
+
+/// One split performed during a load check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRecord {
+    /// The server that shed load.
+    pub server: ServerId,
+    /// The group that was split.
+    pub group: Prefix,
+    /// The server that accepted the right child.
+    pub right_child_server: ServerId,
+}
+
+/// Outcome of a server failure and recovery ([`ClashCluster::fail_server`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureReport {
+    /// The server that crashed.
+    pub failed: ServerId,
+    /// Active key groups re-homed onto ring successors.
+    pub groups_reassigned: usize,
+    /// Surviving entries whose parent pointer died and became roots.
+    pub orphaned_parents: usize,
+    /// Surviving split entries whose right-child pointer was re-pointed.
+    pub repaired_right_children: usize,
+}
+
+/// Outcome of a distributed range query ([`ClashCluster::range_query`]).
+#[derive(Debug, Clone)]
+pub struct RangeQueryResult {
+    /// The groups visited, with their owners, in key order.
+    pub groups: Vec<(Prefix, ServerId)>,
+    /// Number of distinct servers touched — the §7 clustering metric.
+    pub distinct_servers: usize,
+    /// Depth-search probes spent.
+    pub probes: u32,
+    /// Control messages spent (hop-inclusive).
+    pub messages: u64,
+}
+
+/// One merge performed during a load check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// The server that consolidated.
+    pub server: ServerId,
+    /// The parent group that became active again.
+    pub parent: Prefix,
+}
+
+/// Outcome of one cluster-wide load check.
+#[derive(Debug, Clone, Default)]
+pub struct LoadCheckReport {
+    /// Splits performed, in order.
+    pub splits: Vec<SplitRecord>,
+    /// Merges performed, in order.
+    pub merges: Vec<MergeRecord>,
+    /// Merge attempts refused by the child (stale report).
+    pub refusals: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupLedger {
+    sources: Vec<u64>,
+    queries: Vec<u64>,
+    rate: f64,
+}
+
+impl GroupLedger {
+    fn load(&self) -> GroupLoad {
+        GroupLoad {
+            data_rate: self.rate,
+            queries: self.queries.len() as u64,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SourceRec {
+    key: Key,
+    rate: f64,
+    group: Prefix,
+}
+
+#[derive(Debug, Clone)]
+struct QueryRec {
+    key: Key,
+    group: Prefix,
+}
+
+/// An in-process CLASH cluster (see the module docs).
+pub struct ClashCluster {
+    config: ClashConfig,
+    hasher: SplitMixHasher,
+    net: SimNet,
+    servers: BTreeMap<u64, ClashServer>,
+    global_index: PrefixMap<ServerId>,
+    ledgers: BTreeMap<Prefix, GroupLedger>,
+    sources: BTreeMap<u64, SourceRec>,
+    queries: BTreeMap<u64, QueryRec>,
+    msgs: MessageStats,
+    rng: DetRng,
+    /// Safety cap on splits per server per load check.
+    max_splits_per_check: u32,
+    /// Safety cap on merges per server per load check.
+    max_merges_per_check: u32,
+}
+
+impl ClashCluster {
+    /// Builds a cluster of `n_servers` over a stabilized Chord ring and
+    /// bootstraps the initial uniform key groups onto their `Map()`
+    /// owners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn new(config: ClashConfig, n_servers: usize, seed: u64) -> Result<Self, ClashError> {
+        config.validate()?;
+        if n_servers == 0 {
+            return Err(ClashError::InvalidConfig {
+                reason: "cluster needs at least one server",
+            });
+        }
+        let root_rng = DetRng::new(seed);
+        let mut ring_rng = root_rng.substream("ring");
+        let mut net = SimNet::with_random_nodes(config.hash_space, n_servers, &mut ring_rng);
+        net.build_stable();
+        let mut servers = BTreeMap::new();
+        for id in net.node_ids() {
+            servers.insert(id.value(), ClashServer::new(id, config));
+        }
+        let mut cluster = ClashCluster {
+            config,
+            hasher: SplitMixHasher::new(config.hash_space, config.hash_seed),
+            net,
+            servers,
+            global_index: PrefixMap::new(config.key_width),
+            ledgers: BTreeMap::new(),
+            sources: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            msgs: MessageStats::default(),
+            rng: root_rng.substream("cluster"),
+            max_splits_per_check: 64,
+            max_merges_per_check: 64,
+        };
+        if cluster.config.splitting_enabled {
+            cluster.bootstrap_initial_groups()?;
+        }
+        Ok(cluster)
+    }
+
+    fn bootstrap_initial_groups(&mut self) -> Result<(), ClashError> {
+        let depth = self.config.initial_depth;
+        let width = self.config.key_width;
+        for pattern in 0..(1u64 << depth) {
+            let group = Prefix::new(pattern, depth, width)?;
+            let owner = self.map_group(group);
+            self.servers
+                .get_mut(&owner.value())
+                .expect("owner is a ring member")
+                .bootstrap_root(group)?;
+            self.global_index.insert(group, owner);
+            self.ledgers.insert(group, GroupLedger::default());
+        }
+        Ok(())
+    }
+
+    /// `Map(f(virtual key))` by ground truth (no hop accounting) — used
+    /// for bootstrap and verification.
+    fn map_group(&self, group: Prefix) -> ServerId {
+        let h = self.hasher.hash_key(group.virtual_key());
+        self.net.owner_of(h).expect("ring is non-empty")
+    }
+
+    // ----- accessors ---------------------------------------------------
+
+    /// The configuration.
+    pub fn config(&self) -> &ClashConfig {
+        &self.config
+    }
+
+    /// The underlying Chord ring.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Message statistics since the last reset.
+    pub fn message_stats(&self) -> MessageStats {
+        self.msgs
+    }
+
+    /// Resets message statistics (per-measurement-window accounting).
+    pub fn reset_message_stats(&mut self) {
+        self.msgs = MessageStats::default();
+        self.net.reset_stats();
+    }
+
+    /// All server identifiers.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.servers.values().map(|s| s.id()).collect()
+    }
+
+    /// A server by identifier.
+    pub fn server(&self, id: ServerId) -> Option<&ClashServer> {
+        self.servers.get(&id.value())
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `(server, load)` for every server.
+    pub fn server_loads(&self) -> Vec<(ServerId, f64)> {
+        self.servers
+            .values()
+            .map(|s| (s.id(), s.current_load()))
+            .collect()
+    }
+
+    /// Servers currently holding at least one active group.
+    pub fn servers_with_groups(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|s| s.table().active_count() > 0)
+            .count()
+    }
+
+    /// The global set of active groups as a prefix cover (the oracle).
+    pub fn global_cover(&self) -> PrefixCover {
+        let mut cover = PrefixCover::new(self.config.key_width);
+        for p in self.global_index.prefixes() {
+            cover
+                .insert(p)
+                .expect("global index must be prefix-free");
+        }
+        cover
+    }
+
+    /// Global depth statistics `(min, mean, max)` over active groups.
+    pub fn depth_stats(&self) -> Option<(u32, f64, u32)> {
+        let mut min = u32::MAX;
+        let mut max = 0;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for p in self.global_index.prefixes() {
+            min = min.min(p.depth());
+            max = max.max(p.depth());
+            sum += u64::from(p.depth());
+            n += 1;
+        }
+        (n > 0).then(|| (min, sum as f64 / n as f64, max))
+    }
+
+    /// Ground-truth owner of a key (oracle; no messages).
+    pub fn oracle_locate(&self, key: Key) -> Option<(ServerId, Prefix)> {
+        self.global_index
+            .longest_prefix_match(key)
+            .map(|(p, &s)| (s, p))
+    }
+
+    // ----- client operations (§5) ---------------------------------------
+
+    /// Locates the server and depth for `key` using the client protocol:
+    /// the modified binary search over `ACCEPT_OBJECT` probes, each routed
+    /// through the DHT. For the fixed-depth baseline a single lookup
+    /// suffices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::SearchDiverged`] only on protocol invariant
+    /// violations.
+    pub fn locate(&mut self, key: Key) -> Result<Placement, ClashError> {
+        self.locate_hinted(key, None)
+    }
+
+    /// [`ClashCluster::locate`] with a first-guess depth hint (clients
+    /// cache the depth from their previous lookup).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClashCluster::locate`].
+    pub fn locate_hinted(
+        &mut self,
+        key: Key,
+        hint: Option<u32>,
+    ) -> Result<Placement, ClashError> {
+        if !self.config.splitting_enabled {
+            return self.locate_fixed_depth(key);
+        }
+        let width = self.config.key_width.get();
+        let mut search = match hint {
+            Some(h) => DepthSearch::with_hint(width, h),
+            None => DepthSearch::new(width),
+        };
+        loop {
+            let guess = search.next_guess();
+            let group_guess = Prefix::of_key(key, guess);
+            let h = self.hasher.hash_key(group_guess.virtual_key());
+            let start = self.net.random_alive(&mut self.rng);
+            let lookup = self.net.find_successor(start, h);
+            self.msgs.probes += 1;
+            self.msgs.probe_messages += u64::from(lookup.hops) + 1;
+            let responder = self
+                .servers
+                .get_mut(&lookup.owner.value())
+                .expect("owner is a ring member");
+            let response = responder.handle_accept_object(key, guess);
+            match search.record(guess, response)? {
+                SearchOutcome::Found { depth, .. } => {
+                    self.msgs.locates += 1;
+                    return Ok(Placement {
+                        server: lookup.owner,
+                        group: Prefix::of_key(key, depth),
+                        depth,
+                        probes: search.probes(),
+                    });
+                }
+                SearchOutcome::Continue { .. } => {}
+            }
+        }
+    }
+
+    /// Baseline `DHT(x)` lookup: the depth is fixed, one DHT routing
+    /// resolves the owner. Lazily installs the group on its owner (the
+    /// baseline has up to `2^x` groups; they materialize on first touch).
+    fn locate_fixed_depth(&mut self, key: Key) -> Result<Placement, ClashError> {
+        let depth = self.config.initial_depth;
+        let group = Prefix::of_key(key, depth);
+        let h = self.hasher.hash_key(group.virtual_key());
+        let start = self.net.random_alive(&mut self.rng);
+        let lookup = self.net.find_successor(start, h);
+        self.msgs.probes += 1;
+        self.msgs.probe_messages += u64::from(lookup.hops) + 1;
+        self.msgs.locates += 1;
+        let server = self
+            .servers
+            .get_mut(&lookup.owner.value())
+            .expect("owner is a ring member");
+        if server.table().entry(group).is_none() {
+            server.bootstrap_root(group)?;
+            self.global_index.insert(group, lookup.owner);
+            self.ledgers.insert(group, GroupLedger::default());
+        }
+        Ok(Placement {
+            server: lookup.owner,
+            group,
+            depth,
+            probes: 1,
+        })
+    }
+
+    /// Attaches a streaming data source: locates the key's group and adds
+    /// the source's rate to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] if the source id is already
+    /// attached; propagates locate errors.
+    pub fn attach_source(
+        &mut self,
+        source_id: u64,
+        key: Key,
+        rate: f64,
+    ) -> Result<Placement, ClashError> {
+        self.attach_source_hinted(source_id, key, rate, None)
+    }
+
+    /// [`ClashCluster::attach_source`] with a depth hint.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClashCluster::attach_source`].
+    pub fn attach_source_hinted(
+        &mut self,
+        source_id: u64,
+        key: Key,
+        rate: f64,
+        hint: Option<u32>,
+    ) -> Result<Placement, ClashError> {
+        if self.sources.contains_key(&source_id) {
+            return Err(ClashError::InvalidConfig {
+                reason: "source id already attached",
+            });
+        }
+        let placement = self.locate_hinted(key, hint)?;
+        let ledger = self.ledgers.entry(placement.group).or_default();
+        ledger.sources.push(source_id);
+        ledger.rate += rate;
+        self.sources.insert(
+            source_id,
+            SourceRec {
+                key,
+                rate,
+                group: placement.group,
+            },
+        );
+        self.push_group_load(placement.group)?;
+        Ok(placement)
+    }
+
+    /// Detaches a source (data-plane only; no protocol messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] for unknown ids.
+    pub fn detach_source(&mut self, source_id: u64) -> Result<(), ClashError> {
+        let rec = self
+            .sources
+            .remove(&source_id)
+            .ok_or(ClashError::InvalidConfig {
+                reason: "unknown source id",
+            })?;
+        let ledger = self
+            .ledgers
+            .get_mut(&rec.group)
+            .expect("attached source has a ledger");
+        ledger.sources.retain(|&s| s != source_id);
+        ledger.rate = (ledger.rate - rec.rate).max(0.0);
+        self.push_group_load(rec.group)?;
+        self.cleanup_baseline_group(rec.group)?;
+        Ok(())
+    }
+
+    /// In the fixed-depth baseline, groups materialize lazily on first
+    /// touch; symmetrically, an emptied group is dematerialized so a long
+    /// `DHT(24)` run does not accumulate millions of dead entries.
+    fn cleanup_baseline_group(&mut self, group: Prefix) -> Result<(), ClashError> {
+        if self.config.splitting_enabled {
+            return Ok(());
+        }
+        let empty = self
+            .ledgers
+            .get(&group)
+            .is_some_and(|l| l.sources.is_empty() && l.queries.is_empty());
+        if !empty {
+            return Ok(());
+        }
+        self.ledgers.remove(&group);
+        if let Some(&owner) = self.global_index.get(group) {
+            self.global_index.remove(group);
+            let server = self
+                .servers
+                .get_mut(&owner.value())
+                .ok_or(ClashError::UnknownServer { server: owner })?;
+            let _ = server.handle_release_keygroup(group);
+        }
+        Ok(())
+    }
+
+    /// Moves a source to a new key (the paper's "virtual stream" key
+    /// change): detach, then re-locate with the previous depth as hint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detach/attach errors.
+    pub fn move_source(&mut self, source_id: u64, new_key: Key) -> Result<Placement, ClashError> {
+        self.move_source_with_rate(source_id, new_key, None)
+    }
+
+    /// [`ClashCluster::move_source`] with an optional new rate (workload
+    /// phase changes alter per-source rates at the next key change).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detach/attach errors.
+    pub fn move_source_with_rate(
+        &mut self,
+        source_id: u64,
+        new_key: Key,
+        new_rate: Option<f64>,
+    ) -> Result<Placement, ClashError> {
+        let rec = self
+            .sources
+            .get(&source_id)
+            .ok_or(ClashError::InvalidConfig {
+                reason: "unknown source id",
+            })?;
+        let hint = rec.group.depth();
+        let rate = new_rate.unwrap_or(rec.rate);
+        self.detach_source(source_id)?;
+        self.attach_source_hinted(source_id, new_key, rate, Some(hint))
+    }
+
+    /// Attaches a continuous query object to its key's group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] if the query id is already
+    /// attached; propagates locate errors.
+    pub fn attach_query(&mut self, query_id: u64, key: Key) -> Result<Placement, ClashError> {
+        if self.queries.contains_key(&query_id) {
+            return Err(ClashError::InvalidConfig {
+                reason: "query id already attached",
+            });
+        }
+        let placement = self.locate(key)?;
+        let ledger = self.ledgers.entry(placement.group).or_default();
+        ledger.queries.push(query_id);
+        self.queries.insert(
+            query_id,
+            QueryRec {
+                key,
+                group: placement.group,
+            },
+        );
+        self.push_group_load(placement.group)?;
+        Ok(placement)
+    }
+
+    /// Detaches a query (e.g. its client's lifetime expired).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] for unknown ids.
+    pub fn detach_query(&mut self, query_id: u64) -> Result<(), ClashError> {
+        let rec = self
+            .queries
+            .remove(&query_id)
+            .ok_or(ClashError::InvalidConfig {
+                reason: "unknown query id",
+            })?;
+        let ledger = self
+            .ledgers
+            .get_mut(&rec.group)
+            .expect("attached query has a ledger");
+        ledger.queries.retain(|&q| q != query_id);
+        self.push_group_load(rec.group)?;
+        self.cleanup_baseline_group(rec.group)?;
+        Ok(())
+    }
+
+    /// Number of currently attached sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of currently attached queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn push_group_load(&mut self, group: Prefix) -> Result<(), ClashError> {
+        let owner = *self
+            .global_index
+            .get(group)
+            .ok_or(ClashError::UnknownGroup { group })?;
+        let load = self
+            .ledgers
+            .get(&group)
+            .map(|l| l.load())
+            .unwrap_or_default();
+        self.servers
+            .get_mut(&owner.value())
+            .ok_or(ClashError::UnknownServer { server: owner })?
+            .set_group_load(group, load)
+    }
+
+    // ----- load checks: reports, splits, merges (§4–5) ------------------
+
+    /// Runs one cluster-wide load check: leaves report to parents, every
+    /// overloaded server sheds its hottest groups by binary splitting, and
+    /// underloaded servers consolidate cold children bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol invariant violations (none occur in correct
+    /// operation; the tests rely on this).
+    pub fn run_load_check(&mut self) -> Result<LoadCheckReport, ClashError> {
+        let mut report = LoadCheckReport::default();
+        if !self.config.splitting_enabled {
+            return Ok(report);
+        }
+        self.deliver_load_reports();
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        for &sid_value in &ids {
+            let mut splits_done = 0;
+            while splits_done < self.max_splits_per_check {
+                let server = &self.servers[&sid_value];
+                if server.load_level() != LoadLevel::Overloaded {
+                    break;
+                }
+                match self.try_split(sid_value)? {
+                    Some(record) => {
+                        report.splits.push(record);
+                        splits_done += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        for &sid_value in &ids {
+            let mut merges_done = 0;
+            while merges_done < self.max_merges_per_check {
+                let server = &self.servers[&sid_value];
+                if server.load_level() != LoadLevel::Underloaded {
+                    break;
+                }
+                match self.try_merge(sid_value)? {
+                    MergeOutcome::Merged(record) => {
+                        report.merges.push(record);
+                        merges_done += 1;
+                    }
+                    MergeOutcome::Refused => {
+                        // Stale report: retry next period after fresh
+                        // reports have been delivered.
+                        report.refusals += 1;
+                        break;
+                    }
+                    MergeOutcome::NoCandidate => break,
+                }
+            }
+        }
+        self.debug_verify();
+        Ok(report)
+    }
+
+    fn deliver_load_reports(&mut self) {
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        let mut deliveries: Vec<(ServerId, Prefix, GroupLoad, bool, bool)> = Vec::new();
+        for &sid_value in &ids {
+            let server = &self.servers[&sid_value];
+            let own_id = server.id();
+            for (dest, group, load, is_leaf) in server.pending_reports() {
+                deliveries.push((dest, group, load, is_leaf, dest != own_id));
+            }
+        }
+        for (dest, group, load, is_leaf, remote) in deliveries {
+            if remote {
+                self.msgs.report_messages += 1;
+            }
+            if let Some(server) = self.servers.get_mut(&dest.value()) {
+                server.handle_load_report(group, load, is_leaf);
+            }
+        }
+    }
+
+    /// Splits the hottest group of `sid_value`, placing the right child via
+    /// the DHT with the self-map retry of §5. Returns `None` when the
+    /// server has nothing left to split.
+    fn try_split(&mut self, sid_value: u64) -> Result<Option<SplitRecord>, ClashError> {
+        let server_id = self.servers[&sid_value].id();
+        let Some(hot) = self.servers[&sid_value].hottest_splittable() else {
+            return Ok(None);
+        };
+        let mut group = hot;
+        loop {
+            let (left, right) = self
+                .servers
+                .get_mut(&sid_value)
+                .expect("server exists")
+                .split_group(group)?;
+            self.msgs.splits += 1;
+            let (left_ledger, right_ledger) = self.partition_ledger(group, left, right);
+            let left_load = left_ledger.load();
+            let right_load = right_ledger.load();
+            self.ledgers.insert(left, left_ledger);
+            let right_queries = right_ledger.queries.len() as u64;
+            let right_sources = right_ledger.sources.len() as u64;
+            self.ledgers.insert(right, right_ledger);
+            self.global_index.remove(group);
+            self.global_index.insert(left, server_id);
+            self.servers
+                .get_mut(&sid_value)
+                .expect("server exists")
+                .set_group_load(left, left_load)?;
+
+            // Place the right child via the DHT (§5): routing hops count.
+            let h = self.hasher.hash_key(right.virtual_key());
+            let lookup = self.net.find_successor(server_id, h);
+            self.msgs.split_messages += u64::from(lookup.hops);
+            let target = lookup.owner;
+            let self_mapped = target == server_id;
+            self.servers
+                .get_mut(&sid_value)
+                .expect("server exists")
+                .set_right_child(group, target)?;
+
+            if self_mapped && right.depth() < self.config.max_depth {
+                // Right child maps back to us: keep it and split it again
+                // ("another randomized attempt to select a different
+                // server node", §5).
+                self.servers
+                    .get_mut(&sid_value)
+                    .expect("server exists")
+                    .handle_accept_keygroup(right, server_id, right_load)?;
+                self.global_index.insert(right, server_id);
+                group = right;
+                continue;
+            }
+
+            if self_mapped {
+                // At max depth and still self-mapped: keep the group.
+                self.servers
+                    .get_mut(&sid_value)
+                    .expect("server exists")
+                    .handle_accept_keygroup(right, server_id, right_load)?;
+                self.global_index.insert(right, server_id);
+            } else {
+                self.msgs.split_messages += 1; // the ACCEPT_KEYGROUP itself
+                self.msgs.state_transfer_messages += right_queries;
+                self.msgs.redirect_messages += right_sources;
+                self.servers
+                    .get_mut(&target.value())
+                    .ok_or(ClashError::UnknownServer { server: target })?
+                    .handle_accept_keygroup(right, server_id, right_load)?;
+                self.global_index.insert(right, target);
+            }
+            return Ok(Some(SplitRecord {
+                server: server_id,
+                group: hot,
+                right_child_server: target,
+            }));
+        }
+    }
+
+    /// Repartitions the ledger of `group` between its two children by the
+    /// key bit at the split depth, updating member records.
+    fn partition_ledger(
+        &mut self,
+        group: Prefix,
+        left: Prefix,
+        right: Prefix,
+    ) -> (GroupLedger, GroupLedger) {
+        let ledger = self.ledgers.remove(&group).unwrap_or_default();
+        let bit_index = group.depth();
+        let mut left_ledger = GroupLedger::default();
+        let mut right_ledger = GroupLedger::default();
+        for sid in ledger.sources {
+            let rec = self.sources.get_mut(&sid).expect("ledger member exists");
+            if rec.key.bit(bit_index) == 0 {
+                rec.group = left;
+                left_ledger.rate += rec.rate;
+                left_ledger.sources.push(sid);
+            } else {
+                rec.group = right;
+                right_ledger.rate += rec.rate;
+                right_ledger.sources.push(sid);
+            }
+        }
+        for qid in ledger.queries {
+            let rec = self.queries.get_mut(&qid).expect("ledger member exists");
+            if rec.key.bit(bit_index) == 0 {
+                rec.group = left;
+                left_ledger.queries.push(qid);
+            } else {
+                rec.group = right;
+                right_ledger.queries.push(qid);
+            }
+        }
+        (left_ledger, right_ledger)
+    }
+
+    fn try_merge(&mut self, sid_value: u64) -> Result<MergeOutcome, ClashError> {
+        let server_id = self.servers[&sid_value].id();
+        let Some((parent, right_holder, _combined)) = self.servers[&sid_value].merge_candidate()
+        else {
+            return Ok(MergeOutcome::NoCandidate);
+        };
+        let (left, right) = parent.split().expect("candidate parents were split");
+        if right_holder == server_id {
+            // Both children local: no messages.
+            self.servers
+                .get_mut(&sid_value)
+                .expect("server exists")
+                .merge_group(parent, GroupLoad::zero())?;
+        } else {
+            self.msgs.merge_messages += 2; // RELEASE_KEYGROUP + response
+            let response = self
+                .servers
+                .get_mut(&right_holder.value())
+                .ok_or(ClashError::UnknownServer {
+                    server: right_holder,
+                })?
+                .handle_release_keygroup(right);
+            match response {
+                ReleaseResponse::Released { load } => {
+                    let right_ledger = self.ledgers.get(&right);
+                    let right_queries =
+                        right_ledger.map_or(0, |l| l.queries.len() as u64);
+                    let right_sources =
+                        right_ledger.map_or(0, |l| l.sources.len() as u64);
+                    self.msgs.state_transfer_messages += right_queries;
+                    self.msgs.redirect_messages += right_sources;
+                    self.servers
+                        .get_mut(&sid_value)
+                        .expect("server exists")
+                        .merge_group(parent, load)?;
+                }
+                ReleaseResponse::Refused => {
+                    return Ok(MergeOutcome::Refused);
+                }
+            }
+        }
+        self.msgs.merges += 1;
+        // Merge the ledgers and update the oracle.
+        let left_ledger = self.ledgers.remove(&left).unwrap_or_default();
+        let right_ledger = self.ledgers.remove(&right).unwrap_or_default();
+        let mut merged = GroupLedger {
+            rate: left_ledger.rate + right_ledger.rate,
+            ..GroupLedger::default()
+        };
+        for sid in left_ledger
+            .sources
+            .into_iter()
+            .chain(right_ledger.sources)
+        {
+            self.sources
+                .get_mut(&sid)
+                .expect("ledger member exists")
+                .group = parent;
+            merged.sources.push(sid);
+        }
+        for qid in left_ledger
+            .queries
+            .into_iter()
+            .chain(right_ledger.queries)
+        {
+            self.queries
+                .get_mut(&qid)
+                .expect("ledger member exists")
+                .group = parent;
+            merged.queries.push(qid);
+        }
+        self.ledgers.insert(parent, merged);
+        self.global_index.remove(left);
+        self.global_index.remove(right);
+        self.global_index.insert(parent, server_id);
+        self.push_group_load(parent)?;
+        Ok(MergeOutcome::Merged(MergeRecord {
+            server: server_id,
+            parent,
+        }))
+    }
+
+    // ----- extensions beyond the paper's evaluation ---------------------
+
+    /// Kills a server (crash model) and recovers: the Chord ring repairs
+    /// itself, the victim's active key groups are re-bootstrapped onto
+    /// their new `Map()` owners (the ring successors of their hashes),
+    /// and every dangling parent/right-child pointer on the survivors is
+    /// repaired. Re-homed groups become roots — their parent entries died
+    /// with the victim, so their subtrees lose merge-ability above the
+    /// new root (a deliberate soft-state simplification; the paper leaves
+    /// fault handling to the DHT's replication).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::UnknownServer`] for unknown victims and
+    /// [`ClashError::InvalidConfig`] when asked to fail the last server.
+    pub fn fail_server(&mut self, victim: ServerId) -> Result<FailureReport, ClashError> {
+        if self.servers.len() <= 1 {
+            return Err(ClashError::InvalidConfig {
+                reason: "cannot fail the last server",
+            });
+        }
+        let server = self
+            .servers
+            .remove(&victim.value())
+            .ok_or(ClashError::UnknownServer { server: victim })?;
+        let lost_groups: Vec<Prefix> = server.table().active_groups().map(|e| e.group).collect();
+        self.net.fail(victim);
+        self.net.stabilize_until_converged(256);
+
+        let mut report = FailureReport {
+            failed: victim,
+            groups_reassigned: 0,
+            orphaned_parents: 0,
+            repaired_right_children: 0,
+        };
+        for group in lost_groups {
+            let new_owner = self.map_group(group);
+            debug_assert_ne!(new_owner, victim);
+            self.servers
+                .get_mut(&new_owner.value())
+                .expect("ring member")
+                .bootstrap_root(group)?;
+            self.global_index.insert(group, new_owner);
+            let ledger = self.ledgers.entry(group).or_default();
+            self.msgs.state_transfer_messages += ledger.queries.len() as u64;
+            self.msgs.redirect_messages += ledger.sources.len() as u64;
+            self.push_group_load(group)?;
+            report.groups_reassigned += 1;
+        }
+        // Repair dangling pointers on every survivor, resolving right
+        // children against the post-reassignment oracle.
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        for sid in ids {
+            let index = &self.global_index;
+            let server = self.servers.get_mut(&sid).expect("snapshotted id");
+            let (orphans, repairs) = server
+                .table_mut()
+                .repair_after_peer_failure(victim, |g| index.get(g).copied());
+            report.orphaned_parents += orphans;
+            report.repaired_right_children += repairs;
+        }
+        self.debug_verify();
+        Ok(report)
+    }
+
+    /// Ground-truth range scan: every active group intersecting `range`
+    /// and its owner, in key order (no messages).
+    pub fn oracle_range(&self, range: Prefix) -> Vec<(Prefix, ServerId)> {
+        self.global_index
+            .intersecting(range)
+            .into_iter()
+            .map(|(p, &s)| (p, s))
+            .collect()
+    }
+
+    /// Distributed range query (the §7 extension): locates the group
+    /// containing the range start, then walks right through consecutive
+    /// groups until the range is covered, counting the protocol cost of
+    /// each hop. Because CLASH clusters prefix ranges, the walk usually
+    /// touches very few servers — the paper's argument for why range
+    /// queries get *cheaper* under CLASH than under a scattering DHT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates locate errors; returns [`ClashError::InvalidConfig`]
+    /// if the walk exceeds 4096 groups (guard against mis-use on the
+    /// fine-grained baseline).
+    pub fn range_query(&mut self, range: Prefix) -> Result<RangeQueryResult, ClashError> {
+        let before = self.msgs;
+        let mut groups: Vec<(Prefix, ServerId)> = Vec::new();
+        let mut key = range.min_key();
+        let range_end = range.max_key().bits();
+        loop {
+            if groups.len() >= 4096 {
+                return Err(ClashError::InvalidConfig {
+                    reason: "range query would visit more than 4096 groups",
+                });
+            }
+            let placement = self.locate(key)?;
+            groups.push((placement.group, placement.server));
+            let group_end = placement.group.max_key().bits();
+            // Done when the found group covers the rest of the range.
+            if group_end >= range_end {
+                break;
+            }
+            key = Key::new(group_end + 1, self.config.key_width)
+                .expect("group end below range end is in range");
+        }
+        let mut servers: Vec<ServerId> = groups.iter().map(|&(_, s)| s).collect();
+        servers.sort_unstable();
+        servers.dedup();
+        let after = self.msgs;
+        Ok(RangeQueryResult {
+            distinct_servers: servers.len(),
+            groups,
+            probes: (after.probes - before.probes) as u32,
+            messages: after.control_messages() - before.control_messages(),
+        })
+    }
+
+    /// Server-assisted depth determination (§5's closing note: "this
+    /// estimation of the correct depth can be performed … by a server
+    /// that uses this algorithm to query its peer servers, rather than
+    /// assigning the lookup burden to the client"). The client pays one
+    /// round trip to a random proxy server; the proxy runs the search.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClashCluster::locate`].
+    pub fn locate_assisted(&mut self, key: Key) -> Result<Placement, ClashError> {
+        // Client → proxy request and proxy → client response.
+        self.msgs.probe_messages += 2;
+        // The proxy runs the standard search; probes route from the proxy
+        // (already how locate() accounts its hops).
+        self.locate(key)
+    }
+
+    /// Verifies cluster-wide consistency between the oracle, the server
+    /// tables and the ledgers. Cheap enough for tests; called after every
+    /// load check in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency (these are bugs, not runtime errors).
+    pub fn verify_consistency(&self) {
+        // 1. Global index entries are active on their owners.
+        for (group, &owner) in self.global_index.iter() {
+            let server = self.server(owner).expect("owner exists");
+            let entry = server
+                .table()
+                .entry(group)
+                .unwrap_or_else(|| panic!("{owner} lacks entry for {group}"));
+            assert!(entry.active, "{group} on {owner} is not active");
+        }
+        // 2. Every active entry is in the global index.
+        let mut total_active = 0;
+        for server in self.servers.values() {
+            server.table().check_invariants().expect("table invariants");
+            for e in server.table().active_groups() {
+                total_active += 1;
+                assert_eq!(
+                    self.global_index.get(e.group),
+                    Some(&server.id()),
+                    "active {} on {} missing from oracle",
+                    e.group,
+                    server.id()
+                );
+            }
+        }
+        assert_eq!(total_active, self.global_index.len());
+        // 3. In CLASH mode the active groups partition the key space.
+        if self.config.splitting_enabled {
+            assert!(
+                self.global_cover().is_partition(),
+                "active groups do not partition the key space"
+            );
+        }
+        // 4. Ledger membership matches member records.
+        for (group, ledger) in &self.ledgers {
+            for sid in &ledger.sources {
+                assert_eq!(&self.sources[sid].group, group);
+            }
+            for qid in &ledger.queries {
+                assert_eq!(&self.queries[qid].group, group);
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_verify(&self) {
+        self.verify_consistency();
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_verify(&self) {}
+}
+
+enum MergeOutcome {
+    Merged(MergeRecord),
+    Refused,
+    NoCandidate,
+}
+
+impl std::fmt::Debug for ClashCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClashCluster")
+            .field("servers", &self.servers.len())
+            .field("groups", &self.global_index.len())
+            .field("sources", &self.sources.len())
+            .field("queries", &self.queries.len())
+            .field("msgs", &self.msgs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clash_keyspace::key::KeyWidth;
+
+    fn key(bits: u64) -> Key {
+        Key::from_bits_truncated(bits, KeyWidth::new(8).unwrap())
+    }
+
+    fn cluster(n: usize) -> ClashCluster {
+        ClashCluster::new(ClashConfig::small_test(), n, 1).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_creates_partition() {
+        let c = cluster(8);
+        let cover = c.global_cover();
+        assert_eq!(cover.len(), 4); // initial depth 2 → 4 groups
+        assert!(cover.is_partition());
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn locate_agrees_with_oracle() {
+        let mut c = cluster(8);
+        for bits in 0..=255u64 {
+            let k = key(bits);
+            let placement = c.locate(k).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(k).unwrap();
+            assert_eq!(placement.server, oracle_server, "key {k}");
+            assert_eq!(placement.group, oracle_group, "key {k}");
+        }
+    }
+
+    #[test]
+    fn attach_detach_source_roundtrip() {
+        let mut c = cluster(8);
+        let p = c.attach_source(1, key(0b1011_0100), 2.0).unwrap();
+        assert_eq!(c.source_count(), 1);
+        let owner = c.server(p.server).unwrap();
+        assert!((owner.current_load() - 2.0).abs() < 1e-9);
+        c.detach_source(1).unwrap();
+        assert_eq!(c.source_count(), 0);
+        let owner = c.server(p.server).unwrap();
+        assert_eq!(owner.current_load(), 0.0);
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn duplicate_source_id_rejected() {
+        let mut c = cluster(8);
+        c.attach_source(1, key(3), 1.0).unwrap();
+        assert!(c.attach_source(1, key(5), 1.0).is_err());
+        assert!(c.detach_source(99).is_err());
+    }
+
+    #[test]
+    fn overload_triggers_split_and_redistribution() {
+        let mut c = cluster(8);
+        // Pour 200 units of rate into one group (capacity 100, overload 90).
+        for i in 0..100 {
+            // Keys spread within the 00* group (depth 2).
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        let report = c.run_load_check().unwrap();
+        assert!(!report.splits.is_empty(), "overload must cause splits");
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+        // After splitting, no server stays overloaded (load was divisible).
+        let max_load = c
+            .server_loads()
+            .into_iter()
+            .map(|(_, l)| l)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_load <= c.config().overload_threshold() + 1e-9,
+            "max load {max_load} still above threshold"
+        );
+        // Depth grew beyond the initial depth.
+        let (_, _, max_depth) = c.depth_stats().unwrap();
+        assert!(max_depth > 2);
+    }
+
+    #[test]
+    fn locate_still_correct_after_splits() {
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        for bits in 0..=255u64 {
+            let k = key(bits);
+            let placement = c.locate(k).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(k).unwrap();
+            assert_eq!(placement.server, oracle_server, "key {k}");
+            assert_eq!(placement.group, oracle_group, "key {k}");
+            // Depth search stays within the paper's bound.
+            assert!(placement.probes <= 5, "{} probes for {k}", placement.probes);
+        }
+    }
+
+    #[test]
+    fn cooling_triggers_merge() {
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let depth_after_split = c.depth_stats().unwrap().2;
+        assert!(depth_after_split > 2);
+        // Cool down: detach everything.
+        for i in 0..100 {
+            c.detach_source(i).unwrap();
+        }
+        // Several check periods let reports flow and merges cascade.
+        for _ in 0..12 {
+            c.run_load_check().unwrap();
+        }
+        c.verify_consistency();
+        let (_, _, max_depth) = c.depth_stats().unwrap();
+        assert!(
+            max_depth < depth_after_split,
+            "consolidation should reduce depth: {max_depth} vs {depth_after_split}"
+        );
+        assert!(c.global_cover().is_partition());
+    }
+
+    #[test]
+    fn merges_never_collapse_roots() {
+        let mut c = cluster(8);
+        // Nothing attached: everything is cold. Run many checks.
+        for _ in 0..5 {
+            c.run_load_check().unwrap();
+        }
+        let (min_depth, _, _) = c.depth_stats().unwrap();
+        assert_eq!(
+            min_depth, 2,
+            "bootstrap roots must not merge above the initial depth"
+        );
+        assert_eq!(c.global_cover().len(), 4);
+    }
+
+    #[test]
+    fn dht_baseline_never_splits() {
+        let mut c = ClashCluster::new(ClashConfig::dht_baseline(2), 8, 1).unwrap();
+        // dht_baseline(2) on the paper config has 24-bit keys; use such keys.
+        let w = KeyWidth::PAPER;
+        for i in 0..100u64 {
+            let k = Key::from_bits_truncated(i * 7919, w);
+            c.attach_source(i, k, 50.0).unwrap();
+        }
+        let report = c.run_load_check().unwrap();
+        assert!(report.splits.is_empty());
+        assert!(report.merges.is_empty());
+        // Placement always at the fixed depth.
+        let p = c.locate(Key::from_bits_truncated(12345, w)).unwrap();
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.probes, 1);
+    }
+
+    #[test]
+    fn baseline_groups_dematerialize_when_empty() {
+        let mut c = ClashCluster::new(ClashConfig::dht_baseline(12), 8, 1).unwrap();
+        let w = KeyWidth::PAPER;
+        let k1 = Key::from_bits_truncated(0xABCDEF, w);
+        let p = c.attach_source(1, k1, 1.0).unwrap();
+        assert!(c.server(p.server).unwrap().table().active_count() >= 1);
+        c.detach_source(1).unwrap();
+        // The lazily created group disappears with its last object.
+        assert_eq!(c.server(p.server).unwrap().table().active_count(), 0);
+        assert!(c.oracle_locate(k1).is_none());
+        // Re-attach works fine afterwards.
+        c.attach_source(2, k1, 1.0).unwrap();
+        assert!(c.oracle_locate(k1).is_some());
+    }
+
+    #[test]
+    fn move_source_with_rate_changes_rate() {
+        let mut c = cluster(8);
+        c.attach_source(5, key(0b0000_0001), 1.0).unwrap();
+        let p = c
+            .move_source_with_rate(5, key(0b0000_0010), Some(2.0))
+            .unwrap();
+        let owner = c.server(p.server).unwrap();
+        assert!((owner.current_load() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_source_uses_hint_and_keeps_rate() {
+        let mut c = cluster(8);
+        c.attach_source(7, key(0b0000_0001), 2.0).unwrap();
+        let before = c.message_stats();
+        let p = c.move_source(7, key(0b0000_0010)).unwrap();
+        let after = c.message_stats();
+        // Same group (same 2-bit prefix): the hint resolves in one probe.
+        assert_eq!(after.probes - before.probes, 1);
+        let owner = c.server(p.server).unwrap();
+        assert!((owner.current_load() - 2.0).abs() < 1e-9);
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn queries_count_toward_load_and_migrate() {
+        let mut c = cluster(8);
+        for q in 0..32 {
+            c.attach_query(q, key(q % 64)).unwrap();
+        }
+        assert_eq!(c.query_count(), 32);
+        // Heat the same region with sources to force splits; queries must
+        // migrate with their groups (counted as state transfer).
+        for i in 0..100 {
+            c.attach_source(1000 + i, key(i % 64), 2.0).unwrap();
+        }
+        let before = c.message_stats().state_transfer_messages;
+        c.run_load_check().unwrap();
+        let after = c.message_stats().state_transfer_messages;
+        assert!(after > before, "query migration must be accounted");
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn message_stats_accumulate_sensibly() {
+        let mut c = cluster(8);
+        c.attach_source(1, key(9), 1.0).unwrap();
+        let stats = c.message_stats();
+        assert!(stats.probes >= 1);
+        assert!(stats.probe_messages >= stats.probes);
+        assert_eq!(stats.locates, 1);
+        assert!(stats.control_messages() >= stats.probe_messages);
+        c.reset_message_stats();
+        assert_eq!(c.message_stats(), MessageStats::default());
+    }
+
+    #[test]
+    fn single_server_cluster_works() {
+        let mut c = cluster(1);
+        let p = c.attach_source(1, key(42), 5.0).unwrap();
+        assert_eq!(p.probes, 1); // everything self-maps
+        // Overload it: splits happen but stay local (self-mapped).
+        for i in 2..60 {
+            c.attach_source(i, key(i % 64), 3.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+    }
+
+    #[test]
+    fn fail_server_reassigns_groups_and_repairs_pointers() {
+        let mut c = cluster(8);
+        // Heat one region so splits create parent/right-child pointers.
+        for i in 0..100 {
+            c.attach_source(i, key(0b1100_0000 | (i % 64)), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let total_rate_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        // Kill the busiest server.
+        let victim = c
+            .server_loads()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, _)| id)
+            .unwrap();
+        let report = c.fail_server(victim).unwrap();
+        assert!(report.groups_reassigned > 0);
+        // All invariants hold; the cover still partitions the space.
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+        // No load was lost in the reassignment.
+        let total_rate_after: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!((total_rate_after - total_rate_before).abs() < 1e-6);
+        // Lookups still work for every key and never land on the corpse.
+        for bits in (0..256u64).step_by(5) {
+            let placement = c.locate(key(bits)).unwrap();
+            assert_ne!(placement.server, victim);
+            let (oracle_server, _) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(placement.server, oracle_server);
+        }
+        // The system keeps operating: further load checks are fine.
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn fail_every_server_but_one() {
+        let mut c = cluster(6);
+        for i in 0..40 {
+            c.attach_source(i, key(i * 6), 1.0).unwrap();
+        }
+        let mut ids = c.server_ids();
+        while ids.len() > 1 {
+            let victim = ids.pop().unwrap();
+            c.fail_server(victim).unwrap();
+            c.verify_consistency();
+            assert!(c.global_cover().is_partition());
+            ids = c.server_ids();
+        }
+        // Everything now lives on the lone survivor.
+        let survivor = c.server_ids()[0];
+        for bits in (0..256u64).step_by(17) {
+            assert_eq!(c.locate(key(bits)).unwrap().server, survivor);
+        }
+        assert!(matches!(
+            c.fail_server(survivor),
+            Err(ClashError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn range_query_walks_the_cover() {
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(0b0100_0000 | (i % 64)), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        // Query the heated quadrant: multiple groups, oracle-equal.
+        let range = Prefix::parse("01*", 8).unwrap();
+        let result = c.range_query(range).unwrap();
+        let oracle = c.oracle_range(range);
+        assert_eq!(result.groups, oracle);
+        assert!(result.groups.len() > 1, "heated range spans groups");
+        assert!(result.probes >= result.groups.len() as u32);
+        // A cold range inside one group: a single stop.
+        let cold = Prefix::parse("101010*", 8).unwrap();
+        let result = c.range_query(cold).unwrap();
+        assert_eq!(result.groups.len(), 1);
+        assert_eq!(result.distinct_servers, 1);
+    }
+
+    #[test]
+    fn range_query_full_space() {
+        let mut c = cluster(8);
+        let root = Prefix::root(c.config().key_width);
+        let result = c.range_query(root).unwrap();
+        assert_eq!(result.groups.len(), 4, "initial cover has 4 groups");
+        let partition: Vec<Prefix> = result.groups.iter().map(|&(g, _)| g).collect();
+        let mut cover = clash_keyspace::cover::PrefixCover::new(c.config().key_width);
+        for g in partition {
+            cover.insert(g).unwrap();
+        }
+        assert!(cover.is_partition());
+    }
+
+    #[test]
+    fn assisted_locate_matches_client_locate() {
+        let mut c = cluster(8);
+        for i in 0..60 {
+            c.attach_source(i, key(i * 4), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        for bits in (0..256u64).step_by(11) {
+            let assisted = c.locate_assisted(key(bits)).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(assisted.server, oracle_server);
+            assert_eq!(assisted.group, oracle_group);
+        }
+    }
+
+    #[test]
+    fn depth_probe_counts_match_paper_bound() {
+        // After heavy splitting, locates converge within ~log2(N) probes.
+        let mut c = cluster(16);
+        for i in 0..200 {
+            c.attach_source(i, key(i % 256), 2.0).unwrap();
+        }
+        for _ in 0..3 {
+            c.run_load_check().unwrap();
+        }
+        let mut max_probes = 0;
+        for bits in (0..256u64).step_by(3) {
+            let p = c.locate(key(bits)).unwrap();
+            max_probes = max_probes.max(p.probes);
+        }
+        // log2(8+1) + 1 ≈ 4.2 → allow 5.
+        assert!(max_probes <= 5, "max probes {max_probes}");
+    }
+}

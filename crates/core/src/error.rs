@@ -1,0 +1,142 @@
+//! Error types for the CLASH protocol layer.
+
+use std::error::Error;
+use std::fmt;
+
+use clash_keyspace::error::KeyError;
+use clash_keyspace::prefix::Prefix;
+
+use crate::ServerId;
+
+/// Errors surfaced by CLASH protocol operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClashError {
+    /// An underlying key/prefix operation failed.
+    Key(KeyError),
+    /// A table operation referenced a group this server does not hold.
+    UnknownGroup {
+        /// The group that was not found.
+        group: Prefix,
+    },
+    /// A table operation required an active (leaf) group but the entry is
+    /// inactive, or vice versa.
+    WrongActivity {
+        /// The group in question.
+        group: Prefix,
+        /// Whether the operation expected the entry to be active.
+        expected_active: bool,
+    },
+    /// A group at maximum depth cannot be split further.
+    AtMaxDepth {
+        /// The group that could not be split.
+        group: Prefix,
+    },
+    /// A merge was attempted but the children are not both mergeable
+    /// leaves.
+    NotMergeable {
+        /// The parent group of the attempted merge.
+        parent: Prefix,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A message referenced a server that does not exist in the cluster.
+    UnknownServer {
+        /// The missing server.
+        server: ServerId,
+    },
+    /// The cluster configuration is invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A client depth search failed to converge within the probe budget —
+    /// indicates a protocol invariant violation.
+    SearchDiverged {
+        /// Probes used before giving up.
+        probes: u32,
+    },
+}
+
+impl fmt::Display for ClashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClashError::Key(e) => write!(f, "key error: {e}"),
+            ClashError::UnknownGroup { group } => {
+                write!(f, "server does not hold key group {group}")
+            }
+            ClashError::WrongActivity {
+                group,
+                expected_active,
+            } => {
+                if *expected_active {
+                    write!(f, "key group {group} is not active")
+                } else {
+                    write!(f, "key group {group} is already active")
+                }
+            }
+            ClashError::AtMaxDepth { group } => {
+                write!(f, "key group {group} is at maximum depth and cannot split")
+            }
+            ClashError::NotMergeable { parent, reason } => {
+                write!(f, "cannot merge children of {parent}: {reason}")
+            }
+            ClashError::UnknownServer { server } => {
+                write!(f, "unknown server {server}")
+            }
+            ClashError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            ClashError::SearchDiverged { probes } => {
+                write!(f, "depth search did not converge after {probes} probes")
+            }
+        }
+    }
+}
+
+impl Error for ClashError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClashError::Key(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KeyError> for ClashError {
+    fn from(e: KeyError) -> Self {
+        ClashError::Key(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clash_keyspace::key::KeyWidth;
+
+    #[test]
+    fn displays_are_informative() {
+        let g = Prefix::root(KeyWidth::new(8).unwrap());
+        assert!(ClashError::UnknownGroup { group: g }.to_string().contains('*'));
+        assert!(ClashError::AtMaxDepth { group: g }
+            .to_string()
+            .contains("maximum depth"));
+        assert!(ClashError::InvalidConfig { reason: "x" }
+            .to_string()
+            .contains('x'));
+    }
+
+    #[test]
+    fn key_error_is_source() {
+        let inner = KeyError::InvalidWidth { width: 0 };
+        let err = ClashError::from(inner.clone());
+        assert_eq!(err, ClashError::Key(inner));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ClashError>();
+    }
+}

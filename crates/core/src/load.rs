@@ -1,0 +1,206 @@
+//! Server load model and thresholds.
+//!
+//! The paper (§6): "each server periodically computes a load value, based on
+//! the number of queries it currently stores and the cumulative data rate it
+//! currently handles. For query-processing applications, this load is
+//! usually linear in the data rate, and logarithmic in the number of
+//! queries. Overload and underload conditions are detected by comparing
+//! this load value to pre-defined thresholds."
+
+use std::fmt;
+
+/// Load contributed by one key group: data rate plus resident query count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupLoad {
+    /// Cumulative data rate currently directed at the group (packets/sec).
+    pub data_rate: f64,
+    /// Number of continuous queries stored for the group.
+    pub queries: u64,
+}
+
+impl GroupLoad {
+    /// A zero load.
+    pub fn zero() -> Self {
+        GroupLoad::default()
+    }
+
+    /// Component-wise sum.
+    pub fn combined(self, other: GroupLoad) -> GroupLoad {
+        GroupLoad {
+            data_rate: self.data_rate + other.data_rate,
+            queries: self.queries + other.queries,
+        }
+    }
+}
+
+/// The query-stream load model: `rate_weight · data_rate +
+/// query_weight · log₂(1 + queries)`.
+///
+/// The weights are calibration constants (the paper reports only relative
+/// loads as % of capacity); `DESIGN.md` §5 records the values used for the
+/// figure reproductions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryStreamLoadModel {
+    /// Load units per packet/sec of data rate.
+    pub rate_weight: f64,
+    /// Load units per doubling of resident queries.
+    pub query_weight: f64,
+}
+
+impl QueryStreamLoadModel {
+    /// The calibration used by the figure experiments.
+    pub fn paper_calibration() -> Self {
+        QueryStreamLoadModel {
+            rate_weight: 1.0,
+            query_weight: 10.0,
+        }
+    }
+
+    /// Load value of a single group.
+    pub fn group_load(&self, load: GroupLoad) -> f64 {
+        self.rate_weight * load.data_rate
+            + self.query_weight * (1.0 + load.queries as f64).log2()
+    }
+
+    /// Total server load across its active groups.
+    pub fn server_load<I: IntoIterator<Item = GroupLoad>>(&self, groups: I) -> f64 {
+        groups.into_iter().map(|g| self.group_load(g)).sum()
+    }
+}
+
+impl Default for QueryStreamLoadModel {
+    fn default() -> Self {
+        Self::paper_calibration()
+    }
+}
+
+/// A server's position relative to the configured thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadLevel {
+    /// Below the underload threshold: a consolidation candidate.
+    Underloaded,
+    /// Between the thresholds: no action.
+    Nominal,
+    /// Above the overload threshold: must shed load.
+    Overloaded,
+}
+
+impl LoadLevel {
+    /// Classifies a load value against thresholds expressed in absolute
+    /// load units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `underload > overload`.
+    pub fn classify(load: f64, underload: f64, overload: f64) -> LoadLevel {
+        assert!(
+            underload <= overload,
+            "underload threshold {underload} exceeds overload threshold {overload}"
+        );
+        if load > overload {
+            LoadLevel::Overloaded
+        } else if load < underload {
+            LoadLevel::Underloaded
+        } else {
+            LoadLevel::Nominal
+        }
+    }
+}
+
+impl fmt::Display for LoadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LoadLevel::Underloaded => "underloaded",
+            LoadLevel::Nominal => "nominal",
+            LoadLevel::Overloaded => "overloaded",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_load_is_linear_in_rate() {
+        let m = QueryStreamLoadModel::paper_calibration();
+        let base = m.group_load(GroupLoad {
+            data_rate: 100.0,
+            queries: 0,
+        });
+        let double = m.group_load(GroupLoad {
+            data_rate: 200.0,
+            queries: 0,
+        });
+        assert!((double - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_load_is_logarithmic_in_queries() {
+        let m = QueryStreamLoadModel::paper_calibration();
+        let one = m.group_load(GroupLoad {
+            data_rate: 0.0,
+            queries: 1,
+        });
+        let big = m.group_load(GroupLoad {
+            data_rate: 0.0,
+            queries: 1023,
+        });
+        // 1→2 queries is one doubling; 1023 queries is ten doublings.
+        assert!((one - 10.0).abs() < 1e-9);
+        assert!((big - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn server_load_sums_groups() {
+        let m = QueryStreamLoadModel::paper_calibration();
+        let groups = vec![
+            GroupLoad {
+                data_rate: 10.0,
+                queries: 0,
+            },
+            GroupLoad {
+                data_rate: 5.0,
+                queries: 0,
+            },
+        ];
+        assert!((m.server_load(groups) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_adds_componentwise() {
+        let a = GroupLoad {
+            data_rate: 1.0,
+            queries: 2,
+        };
+        let b = GroupLoad {
+            data_rate: 3.0,
+            queries: 4,
+        };
+        let c = a.combined(b);
+        assert_eq!(c.data_rate, 4.0);
+        assert_eq!(c.queries, 6);
+    }
+
+    #[test]
+    fn classify_levels() {
+        assert_eq!(LoadLevel::classify(10.0, 54.0, 90.0), LoadLevel::Underloaded);
+        assert_eq!(LoadLevel::classify(70.0, 54.0, 90.0), LoadLevel::Nominal);
+        assert_eq!(LoadLevel::classify(95.0, 54.0, 90.0), LoadLevel::Overloaded);
+        // Boundaries are inclusive-nominal.
+        assert_eq!(LoadLevel::classify(54.0, 54.0, 90.0), LoadLevel::Nominal);
+        assert_eq!(LoadLevel::classify(90.0, 54.0, 90.0), LoadLevel::Nominal);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds overload")]
+    fn classify_rejects_inverted_thresholds() {
+        LoadLevel::classify(1.0, 90.0, 54.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LoadLevel::Overloaded.to_string(), "overloaded");
+    }
+}

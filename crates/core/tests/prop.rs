@@ -1,0 +1,192 @@
+//! Property-based tests for the CLASH protocol theorems.
+//!
+//! These encode the correctness arguments from `clash_core::client`'s
+//! module documentation against *real* cluster states produced by random
+//! workloads — not hand-built oracles.
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_core::messages::AcceptObjectResponse;
+use clash_keyspace::key::Key;
+use proptest::prelude::*;
+
+fn key(bits: u64) -> Key {
+    Key::from_bits_truncated(bits, ClashConfig::small_test().key_width)
+}
+
+/// Builds a cluster, applies a random workload and runs load checks.
+fn loaded_cluster(
+    servers: usize,
+    seed: u64,
+    attachments: &[(u64, f64)],
+    checks: usize,
+) -> ClashCluster {
+    let mut c = ClashCluster::new(ClashConfig::small_test(), servers, seed).unwrap();
+    for (i, &(bits, rate)) in attachments.iter().enumerate() {
+        c.attach_source(i as u64, key(bits), rate).unwrap();
+    }
+    for _ in 0..checks {
+        c.run_load_check().unwrap();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The global active groups always partition the key space, whatever
+    /// the workload and however many load checks ran.
+    #[test]
+    fn active_groups_always_partition(
+        servers in 1usize..24,
+        seed in 0u64..1000,
+        attachments in prop::collection::vec((0u64..256, 0.5f64..4.0), 0..80),
+        checks in 0usize..4,
+    ) {
+        let c = loaded_cluster(servers, seed, &attachments, checks);
+        prop_assert!(c.global_cover().is_partition());
+        c.verify_consistency();
+    }
+
+    /// Client locate always agrees with the oracle and converges within
+    /// the paper's bound (≈ log₂ N probes; N = 8 here so ⌈log₂ 9⌉ + 1 = 5).
+    #[test]
+    fn locate_matches_oracle_and_converges_fast(
+        servers in 1usize..24,
+        seed in 0u64..1000,
+        attachments in prop::collection::vec((0u64..256, 0.5f64..4.0), 0..80),
+        probes in prop::collection::vec(0u64..256, 1..20),
+    ) {
+        let mut c = loaded_cluster(servers, seed, &attachments, 2);
+        for bits in probes {
+            let k = key(bits);
+            let placement = c.locate(k).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(k).unwrap();
+            prop_assert_eq!(placement.server, oracle_server);
+            prop_assert_eq!(placement.group, oracle_group);
+            prop_assert!(placement.probes <= 5, "{} probes", placement.probes);
+        }
+    }
+
+    /// The d_min soundness theorem: for any reachable cluster state, any
+    /// server's INCORRECT_DEPTH response about any key satisfies
+    /// d_min ≤ d_c − 1 (property 2 of the search), and an empty response
+    /// implies nothing is stored there at all.
+    #[test]
+    fn dmin_is_bounded_by_true_depth(
+        servers in 2usize..24,
+        seed in 0u64..1000,
+        attachments in prop::collection::vec((0u64..256, 0.5f64..4.0), 1..80),
+        probe_bits in 0u64..256,
+        guess in 0u32..=8,
+    ) {
+        let c = loaded_cluster(servers, seed, &attachments, 2);
+        let k = key(probe_bits);
+        let (_, oracle_group) = c.oracle_locate(k).unwrap();
+        let d_c = oracle_group.depth();
+        // Ask EVERY server, not just the protocol-chosen one: the theorem
+        // is global.
+        for id in c.server_ids() {
+            let server = c.server(id).unwrap();
+            let resp = server.table().classify_object(k, guess);
+            match resp {
+                AcceptObjectResponse::Ok { depth }
+                | AcceptObjectResponse::OkCorrected { depth } => {
+                    // Only the true owner may accept, at the true depth.
+                    prop_assert_eq!(depth, d_c);
+                    let (oracle_server, _) = c.oracle_locate(k).unwrap();
+                    prop_assert_eq!(id, oracle_server);
+                }
+                AcceptObjectResponse::IncorrectDepth { d_min: Some(m) } => {
+                    prop_assert!(
+                        m < d_c,
+                        "server {} reported d_min {} but true depth is {}",
+                        id, m, d_c
+                    );
+                }
+                AcceptObjectResponse::IncorrectDepth { d_min: None } => {
+                    prop_assert_eq!(server.table().len(), 0);
+                }
+            }
+        }
+        let _ = c;
+    }
+
+    /// Property 1 of the search: probing at d ≤ d_c through the protocol's
+    /// own Map() contacts a server whose d_min response is ≥ d (or accepts).
+    #[test]
+    fn shallow_probes_get_deep_dmin(
+        servers in 2usize..24,
+        seed in 0u64..1000,
+        attachments in prop::collection::vec((0u64..256, 0.5f64..4.0), 1..80),
+        probe_bits in 0u64..256,
+    ) {
+        let c = loaded_cluster(servers, seed, &attachments, 2);
+        let k = key(probe_bits);
+        let (_, oracle_group) = c.oracle_locate(k).unwrap();
+        let d_c = oracle_group.depth();
+        for d in 0..=d_c {
+            // The server the DHT maps the probe to:
+            let group_guess = clash_keyspace::prefix::Prefix::of_key(k, d);
+            // Use locate_hinted machinery indirectly: probe via cluster by
+            // asking the mapped owner directly through the oracle-equality
+            // of Map(). We reconstruct it with the public API:
+            let placement_server = {
+                // probing at the true depth resolves the owner; for
+                // shallower d we reproduce Map() via a fresh locate of the
+                // virtual key at that exact depth.
+                let vkey = group_guess.virtual_key();
+                let (owner, _) = c.oracle_locate(vkey).unwrap();
+                // oracle_locate(vkey) gives the owner of the virtual key's
+                // *group*, which for d ≤ d_c is exactly Map(f(vkey)).
+                owner
+            };
+            let resp = c
+                .server(placement_server)
+                .unwrap()
+                .table()
+                .classify_object(k, d);
+            match resp {
+                AcceptObjectResponse::Ok { .. }
+                | AcceptObjectResponse::OkCorrected { .. } => {}
+                AcceptObjectResponse::IncorrectDepth { d_min: Some(m) } => {
+                    prop_assert!(m >= d, "probe at {} got d_min {}", d, m);
+                }
+                AcceptObjectResponse::IncorrectDepth { d_min: None } => {
+                    prop_assert!(false, "owner of the zero-padded key cannot be empty");
+                }
+            }
+        }
+    }
+
+    /// Heating then cooling a region splits and then re-merges it; the
+    /// cover stays a partition throughout and depth returns to the roots.
+    #[test]
+    fn split_merge_lifecycle(
+        servers in 2usize..16,
+        seed in 0u64..500,
+        hot_region in 0u64..4,
+    ) {
+        let mut c = ClashCluster::new(ClashConfig::small_test(), servers, seed).unwrap();
+        // Heat one quadrant (depth-2 group) well past capacity.
+        for i in 0..80u64 {
+            let bits = (hot_region << 6) | (i % 64);
+            c.attach_source(i, key(bits), 2.0).unwrap();
+        }
+        for _ in 0..4 {
+            c.run_load_check().unwrap();
+        }
+        let hot_depth = c.depth_stats().unwrap().2;
+        prop_assert!(hot_depth > 2, "hot region must split (depth {hot_depth})");
+        for i in 0..80u64 {
+            c.detach_source(i).unwrap();
+        }
+        for _ in 0..16 {
+            c.run_load_check().unwrap();
+        }
+        let (min_d, _, max_d) = c.depth_stats().unwrap();
+        prop_assert_eq!(min_d, 2, "roots never collapse");
+        prop_assert_eq!(max_d, 2, "cold system fully consolidates");
+        prop_assert!(c.global_cover().is_partition());
+    }
+}

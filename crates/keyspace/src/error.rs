@@ -1,0 +1,133 @@
+//! Error types for key-space operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or parsing keys and prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KeyError {
+    /// The requested key width is zero or exceeds 64 bits.
+    InvalidWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// Key bits do not fit in the declared width.
+    BitsOutOfRange {
+        /// The offending bit pattern.
+        bits: u64,
+        /// The declared width.
+        width: u32,
+    },
+    /// A depth exceeds the key width.
+    DepthOutOfRange {
+        /// The offending depth.
+        depth: u32,
+        /// The key width it was checked against.
+        width: u32,
+    },
+    /// A textual key/prefix contained a character other than `0`, `1`
+    /// or a trailing `*`.
+    ParseError {
+        /// The input that failed to parse.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Two keys or prefixes with different widths were combined.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: u32,
+        /// Width of the right operand.
+        right: u32,
+    },
+    /// A coordinate was outside the encoder's grid.
+    CoordinateOutOfRange {
+        /// The offending coordinate value.
+        value: u64,
+        /// The exclusive bound.
+        bound: u64,
+    },
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::InvalidWidth { width } => {
+                write!(f, "key width must be between 1 and 64, got {width}")
+            }
+            KeyError::BitsOutOfRange { bits, width } => {
+                write!(f, "bit pattern {bits:#x} does not fit in {width} bits")
+            }
+            KeyError::DepthOutOfRange { depth, width } => {
+                write!(f, "depth {depth} exceeds key width {width}")
+            }
+            KeyError::ParseError { input, reason } => {
+                write!(f, "cannot parse {input:?}: {reason}")
+            }
+            KeyError::WidthMismatch { left, right } => {
+                write!(f, "key width mismatch: {left} vs {right}")
+            }
+            KeyError::CoordinateOutOfRange { value, bound } => {
+                write!(f, "coordinate {value} outside grid bound {bound}")
+            }
+        }
+    }
+}
+
+impl Error for KeyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(KeyError, &str)> = vec![
+            (KeyError::InvalidWidth { width: 65 }, "65"),
+            (
+                KeyError::BitsOutOfRange {
+                    bits: 0xff,
+                    width: 4,
+                },
+                "0xff",
+            ),
+            (
+                KeyError::DepthOutOfRange {
+                    depth: 25,
+                    width: 24,
+                },
+                "25",
+            ),
+            (
+                KeyError::ParseError {
+                    input: "01x".into(),
+                    reason: "bad digit",
+                },
+                "01x",
+            ),
+            (KeyError::WidthMismatch { left: 8, right: 24 }, "8"),
+            (
+                KeyError::CoordinateOutOfRange {
+                    value: 9,
+                    bound: 8,
+                },
+                "9",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{msg:?} should start lowercase"
+            );
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<KeyError>();
+    }
+}

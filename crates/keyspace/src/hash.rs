@@ -1,0 +1,247 @@
+//! The hash function `f()` mapping identifier keys into the DHT hash space.
+//!
+//! The paper (§4): "A hash function f() maps the space K of all possible
+//! identifier keys to a hash-space H, such that h = f(k) where h is an M-bit
+//! hash key." The property CLASH depends on is *determinism on the N-bit
+//! virtual key*: two groups whose virtual keys expand to the same N-bit
+//! pattern (a group and its left child) must hash identically, so the left
+//! half of a split provably stays on the splitting server.
+//!
+//! We use the SplitMix64 finalizer — a cheap, well-mixed permutation with
+//! full avalanche — truncated to M bits.
+
+use std::fmt;
+
+use crate::error::KeyError;
+use crate::key::Key;
+
+/// An M-bit hash space (1 ≤ M ≤ 64). The paper's simulations use M = 24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HashSpace {
+    bits: u32,
+}
+
+impl HashSpace {
+    /// The hash-space size used in the paper's simulations (§6.1).
+    pub const PAPER: HashSpace = HashSpace { bits: 24 };
+
+    /// Creates an M-bit hash space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::InvalidWidth`] unless `1 ≤ bits ≤ 64`.
+    pub const fn new(bits: u32) -> Result<Self, KeyError> {
+        if bits == 0 || bits > 64 {
+            Err(KeyError::InvalidWidth { width: bits })
+        } else {
+            Ok(HashSpace { bits })
+        }
+    }
+
+    /// Number of bits (M).
+    pub const fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Bit mask selecting the low M bits.
+    pub const fn mask(self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Size of the space as a `u128` (exact even for M = 64).
+    pub const fn size(self) -> u128 {
+        1u128 << self.bits
+    }
+}
+
+impl fmt::Display for HashSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{}", self.bits)
+    }
+}
+
+/// A deterministic hash from identifier keys to M-bit hash values.
+pub trait KeyHasher {
+    /// The target hash space.
+    fn space(&self) -> HashSpace;
+
+    /// Hashes a key (typically a *virtual* key) into the hash space.
+    fn hash_key(&self, key: Key) -> u64;
+
+    /// Hashes an arbitrary 64-bit value (used for server identifiers).
+    fn hash_u64(&self, value: u64) -> u64;
+}
+
+/// SplitMix64-based [`KeyHasher`].
+///
+/// # Example
+///
+/// ```
+/// use clash_keyspace::hash::{HashSpace, KeyHasher, SplitMixHasher};
+/// use clash_keyspace::prefix::Prefix;
+///
+/// let hasher = SplitMixHasher::new(HashSpace::PAPER, 42);
+/// let group = Prefix::parse("0110*", 24.try_into()?)?;
+/// let (left, right) = group.split()?;
+/// // Left child shares the parent's virtual key → identical hash.
+/// assert_eq!(
+///     hasher.hash_key(group.virtual_key()),
+///     hasher.hash_key(left.virtual_key()),
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMixHasher {
+    space: HashSpace,
+    seed: u64,
+}
+
+impl SplitMixHasher {
+    /// Creates a hasher targeting `space`, salted with `seed`.
+    pub fn new(space: HashSpace, seed: u64) -> Self {
+        SplitMixHasher { space, seed }
+    }
+
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl KeyHasher for SplitMixHasher {
+    fn space(&self) -> HashSpace {
+        self.space
+    }
+
+    fn hash_key(&self, key: Key) -> u64 {
+        // Mix in the width so that equal bit patterns of different widths
+        // do not collide systematically.
+        let input = key
+            .bits()
+            .wrapping_add(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(key.width().get()) << 56);
+        Self::mix(input) & self.space.mask()
+    }
+
+    fn hash_u64(&self, value: u64) -> u64 {
+        Self::mix(value ^ self.seed.rotate_left(32)) & self.space.mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyWidth;
+    use crate::prefix::Prefix;
+
+    fn hasher() -> SplitMixHasher {
+        SplitMixHasher::new(HashSpace::PAPER, 7)
+    }
+
+    fn w24() -> KeyWidth {
+        KeyWidth::PAPER
+    }
+
+    #[test]
+    fn hash_space_validation() {
+        assert!(HashSpace::new(0).is_err());
+        assert!(HashSpace::new(65).is_err());
+        assert_eq!(HashSpace::new(24).unwrap().mask(), 0xFF_FFFF);
+        assert_eq!(HashSpace::new(64).unwrap().mask(), u64::MAX);
+        assert_eq!(HashSpace::new(8).unwrap().size(), 256);
+        assert_eq!(HashSpace::new(64).unwrap().size(), 1u128 << 64);
+    }
+
+    #[test]
+    fn hashes_stay_in_space() {
+        let h = hasher();
+        for bits in 0..1000u64 {
+            let key = Key::from_bits_truncated(bits * 7919, w24());
+            assert!(h.hash_key(key) <= h.space().mask());
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h1 = hasher();
+        let h2 = hasher();
+        let key = Key::from_bits_truncated(123456, w24());
+        assert_eq!(h1.hash_key(key), h2.hash_key(key));
+    }
+
+    #[test]
+    fn different_seeds_give_different_placements() {
+        let a = SplitMixHasher::new(HashSpace::PAPER, 1);
+        let b = SplitMixHasher::new(HashSpace::PAPER, 2);
+        let key = Key::from_bits_truncated(123456, w24());
+        assert_ne!(a.hash_key(key), b.hash_key(key));
+    }
+
+    #[test]
+    fn left_child_virtual_key_hash_invariant() {
+        // The CLASH split guarantee (§5): the left child group maps back to
+        // the same server because its virtual key is bit-identical.
+        let h = hasher();
+        let mut group = Prefix::parse("0110*", 24).unwrap();
+        for _ in 0..10 {
+            let (left, _right) = group.split().unwrap();
+            assert_eq!(
+                h.hash_key(group.virtual_key()),
+                h.hash_key(left.virtual_key())
+            );
+            group = left;
+        }
+    }
+
+    #[test]
+    fn right_child_usually_hashes_elsewhere() {
+        let h = hasher();
+        let mut moved = 0;
+        let mut total = 0;
+        for bits in 0..200u64 {
+            let group = Prefix::new(bits, 8, w24()).unwrap();
+            let (_, right) = group.split().unwrap();
+            total += 1;
+            if h.hash_key(group.virtual_key()) != h.hash_key(right.virtual_key()) {
+                moved += 1;
+            }
+        }
+        // With a 24-bit space collisions are ~2^-24; all should move.
+        assert_eq!(moved, total);
+    }
+
+    #[test]
+    fn hash_distribution_is_roughly_uniform() {
+        let h = SplitMixHasher::new(HashSpace::new(8).unwrap(), 3);
+        let mut counts = [0u32; 256];
+        let n = 256_000u64;
+        for i in 0..n {
+            let key = Key::from_bits_truncated(i, w24());
+            counts[h.hash_key(key) as usize] += 1;
+        }
+        let expected = n as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 255 degrees of freedom; mean 255, stddev ~22.6. Allow 5 sigma.
+        assert!(chi2 < 255.0 + 5.0 * 22.6, "chi2={chi2}");
+    }
+
+    #[test]
+    fn width_influences_hash() {
+        let h = hasher();
+        let a = Key::from_bits_truncated(0b1010, KeyWidth::new(8).unwrap());
+        let b = Key::from_bits_truncated(0b1010, KeyWidth::new(16).unwrap());
+        assert_ne!(h.hash_key(a), h.hash_key(b));
+    }
+}

@@ -1,0 +1,15 @@
+//! Ablation sweeps over the design choices: split policy, initial depth,
+//! merge headroom and virtual servers.
+//!
+//! Usage: `ablation [--scale F]`
+
+use clash_sim::experiments::ablation;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    eprintln!("running ablation sweeps at scale {scale}...");
+    let out = ablation::run(scale).expect("scenario failed");
+    print!("{}", ablation::render(&out));
+}

@@ -1,0 +1,43 @@
+//! Runs every experiment in sequence and writes all CSVs — the one-shot
+//! reproduction of the paper's evaluation section.
+//!
+//! Usage: `all_experiments [--scale F] [--out DIR]`
+
+use clash_sim::experiments::{ablation, demos, depth_conv, fig3, fig4, fig5, servers_saved};
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    let out_dir = report::out_dir_arg(&args);
+    let t0 = std::time::Instant::now();
+
+    println!("{}", demos::figure1());
+    println!("{}", demos::figure2());
+
+    let f3 = fig3::run(100_000);
+    println!("{}", fig3::render(&f3));
+    fig3::write_csvs(&f3, &out_dir).expect("write fig3 csv");
+
+    eprintln!("[{:6.1}s] running Figure 4 at scale {scale}...", t0.elapsed().as_secs_f64());
+    let f4 = fig4::run(scale).expect("fig4 failed");
+    println!("{}", fig4::render(&f4));
+    fig4::write_csvs(&f4, &out_dir).expect("write fig4 csvs");
+
+    println!("{}", servers_saved::render(&servers_saved::from_fig4(&f4)));
+
+    eprintln!("[{:6.1}s] running Figure 5 at scale {scale}...", t0.elapsed().as_secs_f64());
+    let f5 = fig5::run(scale).expect("fig5 failed");
+    println!("{}", fig5::render(&f5));
+    fig5::write_csvs(&f5, &out_dir).expect("write fig5 csv");
+
+    eprintln!("[{:6.1}s] running depth convergence...", t0.elapsed().as_secs_f64());
+    let dc = depth_conv::run(200, 20_000, 5_000).expect("depth conv failed");
+    println!("{}", depth_conv::render(&dc));
+
+    eprintln!("[{:6.1}s] running ablations...", t0.elapsed().as_secs_f64());
+    let ab = ablation::run(scale.min(0.1)).expect("ablation failed");
+    println!("{}", ablation::render(&ab));
+
+    eprintln!("all experiments done in {:.1}s; CSVs in {out_dir}/", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,21 @@
+//! Checks the §5 claim that depth searches converge well below the
+//! binary-search bound of ⌈log₂ N⌉ probes.
+//!
+//! Usage: `depth_convergence [--servers N] [--sources N] [--lookups N]`
+
+use clash_sim::experiments::depth_conv;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| {
+        report::flag_value(&args, flag)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let servers = get("--servers", 200);
+    let sources = get("--sources", 20_000);
+    let lookups = get("--lookups", 5_000);
+    let out = depth_conv::run(servers, sources, lookups).expect("experiment failed");
+    print!("{}", depth_conv::render(&out));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 1: the binary-splitting tree built from
+//! the key group `011*` across servers s0, s12, s5 and s7.
+
+fn main() {
+    print!("{}", clash_sim::experiments::demos::figure1());
+}

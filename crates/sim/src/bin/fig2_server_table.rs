@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 2: the server work table of s25,
+//! including the three `ACCEPT_OBJECT` cases of §5.
+
+fn main() {
+    print!("{}", clash_sim::experiments::demos::figure2());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 3: the workload A/B/C key distributions over the
+//! 8-bit base portion.
+//!
+//! Usage: `fig3_workloads [--sources N] [--out DIR]`
+
+use clash_sim::experiments::fig3;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sources = report::flag_value(&args, "--sources")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let out_dir = report::out_dir_arg(&args);
+    let out = fig3::run(sources);
+    print!("{}", fig3::render(&out));
+    match fig3::write_csvs(&out, &out_dir) {
+        Ok(()) => println!("wrote {out_dir}/fig3_workloads.csv"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

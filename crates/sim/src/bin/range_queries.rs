@@ -1,0 +1,18 @@
+//! The §7 range-query extension: distinct servers touched per prefix
+//! range, CLASH vs the fixed-depth baselines.
+//!
+//! Usage: `range_queries [--scale F] [--queries N]`
+
+use clash_sim::experiments::range_queries;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    let queries = report::flag_value(&args, "--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    eprintln!("running range-query comparison at scale {scale}...");
+    let out = range_queries::run(scale, queries).expect("experiment failed");
+    print!("{}", range_queries::render(&out));
+}

@@ -1,0 +1,160 @@
+//! Figure 3: the key-frequency distributions of workloads A, B and C.
+//!
+//! The paper plots, for each workload, the frequency of each of the 256
+//! values of the 8-bit base portion of the key. We regenerate the exact
+//! series (as expected packets/sec for the paper's populations) plus an
+//! ASCII rendering of the three curves.
+
+use clash_workload::skew::{Workload, WorkloadKind};
+
+use crate::report;
+
+/// The regenerated Figure 3 data.
+#[derive(Debug, Clone)]
+pub struct Fig3Output {
+    /// `(workload, per-base-value expected packets/sec)`.
+    pub series: Vec<(WorkloadKind, Vec<f64>)>,
+    /// Source population used for scaling.
+    pub sources: usize,
+}
+
+/// Computes the three series at a given source population (paper:
+/// 100,000).
+pub fn run(sources: usize) -> Fig3Output {
+    let series = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| {
+            let w = Workload::paper(kind);
+            let values: Vec<f64> = w
+                .figure3_series(sources, kind.source_rate())
+                .into_iter()
+                .map(|(_, pkts)| pkts)
+                .collect();
+            (kind, values)
+        })
+        .collect();
+    Fig3Output { series, sources }
+}
+
+/// Renders the figure as summary statistics plus coarse ASCII curves.
+pub fn render(out: &Fig3Output) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Figure 3 — workload key distributions over the 8-bit base \
+         ({} sources)\n\n",
+        out.sources
+    ));
+    // Summary table.
+    let rows: Vec<Vec<String>> = out
+        .series
+        .iter()
+        .map(|(kind, values)| {
+            let total: f64 = values.iter().sum();
+            let peak = values.iter().copied().fold(0.0, f64::max);
+            let peak_at = values
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let uniform = total / values.len() as f64;
+            vec![
+                kind.to_string(),
+                report::f1(total),
+                report::f1(peak),
+                peak_at.to_string(),
+                report::f2(peak / uniform),
+            ]
+        })
+        .collect();
+    s.push_str(&report::ascii_table(
+        &[
+            "workload",
+            "total pkts/s",
+            "peak pkts/s",
+            "peak at base",
+            "peak/uniform ratio",
+        ],
+        &rows,
+    ));
+    s.push('\n');
+    // Coarse curves: 32 buckets of 8 values, bar height 16.
+    for (kind, values) in &out.series {
+        let buckets: Vec<f64> = values
+            .chunks(8)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let max = buckets.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+        s.push_str(&format!("workload {kind} (each column = 8 base values, peak normalized):\n"));
+        for level in (1..=8).rev() {
+            let threshold = max * level as f64 / 8.0;
+            let line: String = buckets
+                .iter()
+                .map(|&b| if b >= threshold - 1e-12 { '#' } else { ' ' })
+                .collect();
+            s.push_str(&format!("  |{line}|\n"));
+        }
+        s.push_str(&format!("  +{}+\n\n", "-".repeat(buckets.len())));
+    }
+    s
+}
+
+/// Writes `fig3_workloads.csv` with one row per base value.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csvs(out: &Fig3Output, dir: &str) -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    let n = out.series.first().map(|(_, v)| v.len()).unwrap_or(0);
+    for v in 0..n {
+        rows.push(vec![
+            v.to_string(),
+            report::f2(out.series[0].1[v]),
+            report::f2(out.series[1].1[v]),
+            report::f2(out.series[2].1[v]),
+        ]);
+    }
+    report::write_csv(
+        format!("{dir}/fig3_workloads.csv"),
+        &["base_value", "A_pkts_per_sec", "B_pkts_per_sec", "C_pkts_per_sec"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_total_matches_population_rates() {
+        let out = run(100_000);
+        for (kind, values) in &out.series {
+            let total: f64 = values.iter().sum();
+            let expected = 100_000.0 * kind.source_rate();
+            assert!(
+                (total - expected).abs() < 1e-6,
+                "workload {kind}: {total} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_ranking_visible_in_peaks() {
+        let out = run(100_000);
+        let peaks: Vec<f64> = out
+            .series
+            .iter()
+            .map(|(_, v)| v.iter().copied().fold(0.0, f64::max))
+            .collect();
+        assert!(peaks[0] < peaks[1] && peaks[1] < peaks[2]);
+    }
+
+    #[test]
+    fn render_contains_all_workloads() {
+        let s = render(&run(1000));
+        for name in ["workload A", "workload B", "workload C"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

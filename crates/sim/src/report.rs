@@ -1,0 +1,286 @@
+//! ASCII-table and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a boxed ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use clash_sim::report::ascii_table;
+///
+/// let t = ascii_table(
+///     &["workload", "max load %"],
+///     &[vec!["A".into(), "71.2".into()], vec!["C".into(), "88.9".into()]],
+/// );
+/// assert!(t.contains("workload"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            let _ = write!(out, " {cell:>w$} |", w = w);
+        }
+        out.push('\n');
+    };
+    out.push_str(&sep);
+    out.push('\n');
+    render_row(
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Writes a CSV file (simple quoting: fields containing commas or quotes
+/// are double-quoted).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, out)
+}
+
+/// Renders multiple time series as a coarse ASCII line chart (one symbol
+/// per series; log-ish vertical packing is left to the caller's choice of
+/// `height`).
+///
+/// # Example
+///
+/// ```
+/// use clash_sim::report::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     &[("A", &[1.0, 2.0, 3.0][..]), ("B", &[3.0, 2.0, 1.0][..])],
+///     8,
+/// );
+/// assert!(chart.contains("* = A"));
+/// assert!(chart.contains("# = B"));
+/// ```
+pub fn ascii_chart(series: &[(&str, &[f64])], height: usize) -> String {
+    let width = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    if width == 0 || height == 0 {
+        return String::new();
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let symbols = ['*', '#', '+', 'o', 'x', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let sym = symbols[si % symbols.len()];
+        for (x, &v) in values.iter().enumerate() {
+            let level = ((v / max) * (height - 1) as f64).round() as usize;
+            let y = height - 1 - level.min(height - 1);
+            grid[y][x] = sym;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max:>9.0} |")
+        } else if i == height - 1 {
+            format!("{:>9.0} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} = {name}", symbols[i % symbols.len()]))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Parses `--key value` style flags from `std::env::args`-like input.
+/// Returns the value following the flag, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Reads `--scale` (default 1.0), validating the range `(0, 1]`.
+pub fn scale_arg(args: &[String]) -> f64 {
+    let scale = flag_value(args, "--scale")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "--scale must be in (0, 1], got {scale}"
+    );
+    scale
+}
+
+/// Reads `--out` (default `results/`).
+pub fn out_dir_arg(args: &[String]) -> String {
+    flag_value(args, "--out").unwrap_or_else(|| "results".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = ascii_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All lines are equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(t.contains("long-name"));
+    }
+
+    #[test]
+    fn table_handles_short_rows() {
+        let t = ascii_table(&["a", "b"], &[vec!["x".into()]]);
+        assert!(t.contains('x'));
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let dir = std::env::temp_dir().join("clash_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["k", "v"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"say \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--scale", "0.5", "--out", "x"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(scale_arg(&args), 0.5);
+        assert_eq!(out_dir_arg(&args), "x");
+        assert_eq!(scale_arg(&[]), 1.0);
+        assert_eq!(out_dir_arg(&[]), "results");
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be in")]
+    fn bad_scale_panics() {
+        let args: Vec<String> = ["--scale", "2.0"].iter().map(|s| (*s).to_owned()).collect();
+        scale_arg(&args);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.255), "1.25"); // bankers-ish rounding is fine
+    }
+
+    #[test]
+    fn chart_renders_extremes() {
+        let chart = ascii_chart(&[("up", &[0.0, 50.0, 100.0][..])], 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max label on top row, zero at the bottom, legend last.
+        assert!(lines[0].starts_with("      100 |"));
+        assert!(lines[0].ends_with('*'), "peak in the top row: {:?}", lines[0]);
+        assert!(lines[4].contains('*'), "zero in the bottom row");
+        assert!(chart.contains("* = up"));
+    }
+
+    #[test]
+    fn chart_handles_empty_input() {
+        assert_eq!(ascii_chart(&[], 5), "");
+        assert_eq!(ascii_chart(&[("x", &[][..])], 5), "");
+    }
+}

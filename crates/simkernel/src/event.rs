@@ -1,0 +1,271 @@
+//! Deterministic event queue.
+//!
+//! A thin priority queue over `(SimTime, sequence)` pairs. Events scheduled
+//! for the same instant fire in insertion order, which makes simulation runs
+//! reproducible bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A pending event of payload type `E`.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, with the
+        // sequence number as a deterministic tie-break.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// `now()` to that event's timestamp. Scheduling into the past is a logic
+/// error and panics.
+///
+/// # Example
+///
+/// ```
+/// use clash_simkernel::event::EventQueue;
+/// use clash_simkernel::time::{SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_secs(1), "later");
+/// q.schedule_after(SimDuration::from_millis(10), "soon");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("soon"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for throughput reporting).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} < now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Removes and returns the earliest event only if it fires strictly
+    /// before `deadline`; otherwise leaves the queue untouched.
+    ///
+    /// This is the primitive used to interleave event processing with
+    /// periodic sampling loops.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(ev) if ev.at < deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.at)
+    }
+
+    /// Advances the clock to `at` without firing anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or earlier than a pending event
+    /// (skipping events would corrupt the simulation).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot advance into the past");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                at <= next,
+                "advance_to({at:?}) would skip a pending event at {next:?}"
+            );
+        }
+        self.now = at;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3u32);
+        q.schedule(SimTime::from_secs(1), 1u32);
+        q.schedule(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(10), "b");
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(5)).map(|(_, e)| e),
+            Some("a")
+        );
+        assert_eq!(q.pop_before(SimTime::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(42));
+        assert_eq!(q.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn counts_scheduled_total() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 5);
+    }
+}

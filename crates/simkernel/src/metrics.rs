@@ -1,0 +1,442 @@
+//! Metric recorders for the experiment harness.
+//!
+//! The Figure 4 panels are time series (max/avg server load, depth min/avg/
+//! max, active servers); Figure 5 is per-category message counters. These
+//! recorders are intentionally simple values — the experiment drivers own
+//! them directly, no global registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A timestamped series of samples — one panel line in Figure 4.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the previous sample (series must be
+    /// chronological).
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be recorded chronologically");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded samples in order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sample value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Mean of the sample values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Mean over the samples with `lo <= t < hi` (e.g. one workload phase).
+    pub fn mean_in(&self, lo: SimTime, hi: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Maximum over the samples with `lo <= t < hi`.
+    pub fn max_in(&self, lo: SimTime, hi: SimTime) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(m) => m.max(v),
+                })
+            })
+    }
+}
+
+/// Streaming summary statistics (Welford's algorithm): count, mean,
+/// variance, min, max — without storing samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 if fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram with fixed-width buckets over `[lo, hi)` plus overflow and
+/// underflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "histogram needs at least one bucket");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            width: (hi - lo) / n as f64,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.summary.observe(x);
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the end of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The streaming summary over all observations (including out-of-range).
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Inclusive lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        self.lo + self.width * i as f64
+    }
+}
+
+/// A keyed family of counters (Figure 5's per-message-category counts).
+#[derive(Debug, Clone, Default)]
+pub struct CounterFamily {
+    counters: BTreeMap<String, Counter>,
+}
+
+impl CounterFamily {
+    /// Creates an empty family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter for `key`, creating it if needed.
+    pub fn add(&mut self, key: &str, n: u64) {
+        self.counters.entry(key.to_owned()).or_default().add(n);
+    }
+
+    /// Current value for `key` (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.get())
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Sum over all counters.
+    pub fn total(&self) -> u64 {
+        self.counters.values().map(|c| c.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn time_series_stats() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(10), 3.0);
+        ts.record(SimTime::from_secs(20), 2.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.max(), Some(3.0));
+        assert_eq!(ts.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn time_series_windows() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.record(SimTime::from_secs(i), i as f64);
+        }
+        let lo = SimTime::from_secs(2);
+        let hi = SimTime::from_secs(5);
+        assert_eq!(ts.mean_in(lo, hi), Some(3.0)); // samples 2,3,4
+        assert_eq!(ts.max_in(lo, hi), Some(4.0));
+        assert_eq!(ts.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronologically")]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(5), 1.0);
+        ts.record(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn summary_mean_and_stddev() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.observe(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.observe(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.observe(x);
+        }
+        for &x in &xs[37..] {
+            right.observe(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_behaviour() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.summary().count(), 7);
+        assert!((h.bucket_lo(3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_family() {
+        let mut f = CounterFamily::new();
+        f.add("lookup", 3);
+        f.add("split", 1);
+        f.add("lookup", 2);
+        assert_eq!(f.get("lookup"), 5);
+        assert_eq!(f.get("split"), 1);
+        assert_eq!(f.get("missing"), 0);
+        assert_eq!(f.total(), 6);
+        let keys: Vec<&str> = f.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["lookup", "split"]);
+    }
+}

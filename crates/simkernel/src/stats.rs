@@ -1,0 +1,125 @@
+//! Small statistics helpers shared by experiments and tests.
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice (0 for fewer than two samples).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) using linear interpolation between
+/// closest ranks. Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Ordinary least squares fit `y = a + b·x`; returns `(a, b)`.
+/// Returns `None` when fewer than two points or when x has no variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((a, b))
+}
+
+/// Maximum over a slice (None for an empty slice).
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().fold(None, |acc, v| {
+        Some(match acc {
+            None => v,
+            Some(m) => m.max(v),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(percentile(&xs, 25.0), Some(2.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+        assert_eq!(percentile(&xs, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert_eq!(linear_fit(&[]), None);
+        assert_eq!(linear_fit(&[(1.0, 1.0)]), None);
+        assert_eq!(linear_fit(&[(1.0, 1.0), (1.0, 2.0)]), None);
+    }
+
+    #[test]
+    fn max_of_slice() {
+        assert_eq!(max(&[1.0, 5.0, 3.0]), Some(5.0));
+        assert_eq!(max(&[]), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-server continuous-query engine.
+
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+
+use crate::index::QueryIndex;
+use crate::query::ContinuousQuery;
+
+/// Engine throughput counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Packets ingested.
+    pub packets: u64,
+    /// Query deliveries (one per matching query per packet).
+    pub deliveries: u64,
+    /// Packets that matched no query.
+    pub unmatched: u64,
+}
+
+/// A per-server query engine: an index of resident queries plus
+/// throughput accounting, with group-granularity migration support.
+///
+/// # Example
+///
+/// ```
+/// use clash_keyspace::key::Key;
+/// use clash_keyspace::prefix::Prefix;
+/// use clash_streamquery::engine::QueryEngine;
+/// use clash_streamquery::query::ContinuousQuery;
+///
+/// let mut a = QueryEngine::new(8.try_into()?);
+/// a.register(ContinuousQuery::new(1, Prefix::parse("011*", 8)?));
+///
+/// // CLASH splits the group "011*" away: migrate its resident queries.
+/// let mut b = QueryEngine::new(8.try_into()?);
+/// let moved = a.extract_group(Prefix::parse("011*", 8)?);
+/// assert_eq!(moved.len(), 1);
+/// b.register_all(moved);
+/// assert_eq!(b.ingest(Key::parse("01101111", 8)?), vec![1]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    index: QueryIndex,
+    stats: EngineStats,
+}
+
+impl QueryEngine {
+    /// Creates an empty engine for keys of the given width.
+    pub fn new(width: KeyWidth) -> Self {
+        QueryEngine {
+            index: QueryIndex::new(width),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The key width.
+    pub fn width(&self) -> KeyWidth {
+        self.index.width()
+    }
+
+    /// Number of resident queries.
+    pub fn query_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Throughput counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Registers a query.
+    pub fn register(&mut self, query: ContinuousQuery) {
+        self.index.insert(query);
+    }
+
+    /// Registers a batch of queries (e.g. a migrated group).
+    pub fn register_all<I: IntoIterator<Item = ContinuousQuery>>(&mut self, queries: I) {
+        for q in queries {
+            self.register(q);
+        }
+    }
+
+    /// Deregisters the query with `id` at `region`. Returns true if
+    /// present.
+    pub fn deregister(&mut self, region: Prefix, id: u64) -> bool {
+        self.index.remove(region, id)
+    }
+
+    /// Ingests one packet: returns the ids of all matching queries and
+    /// updates throughput counters.
+    pub fn ingest(&mut self, key: Key) -> Vec<u64> {
+        let mut ids = Vec::new();
+        self.index.for_each_match(key, |q| ids.push(q.id()));
+        self.stats.packets += 1;
+        self.stats.deliveries += ids.len() as u64;
+        if ids.is_empty() {
+            self.stats.unmatched += 1;
+        }
+        ids
+    }
+
+    /// Removes and returns every query resident in `group` (CLASH state
+    /// migration on split/merge).
+    pub fn extract_group(&mut self, group: Prefix) -> Vec<ContinuousQuery> {
+        self.index.extract_group(group)
+    }
+
+    /// True if the query with `id` is registered at `region`.
+    pub fn contains(&self, region: Prefix, id: u64) -> bool {
+        self.index.contains(region, id)
+    }
+
+    /// Read access to the underlying index.
+    pub fn index(&self) -> &QueryIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(KeyWidth::new(8).unwrap())
+    }
+
+    fn p(s: &str) -> Prefix {
+        Prefix::parse(s, 8).unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        Key::parse(s, 8).unwrap()
+    }
+
+    #[test]
+    fn ingest_counts_and_delivers() {
+        let mut e = engine();
+        e.register(ContinuousQuery::new(1, p("01*")));
+        e.register(ContinuousQuery::new(2, p("0110*")));
+        assert_eq!(e.ingest(k("01101111")), vec![1, 2]);
+        assert_eq!(e.ingest(k("11111111")), Vec::<u64>::new());
+        let s = e.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.deliveries, 2);
+        assert_eq!(s.unmatched, 1);
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let mut e = engine();
+        e.register(ContinuousQuery::new(1, p("01*")));
+        assert!(e.deregister(p("01*"), 1));
+        assert_eq!(e.ingest(k("01000000")), Vec::<u64>::new());
+        assert_eq!(e.query_count(), 0);
+    }
+
+    #[test]
+    fn migration_moves_group_queries() {
+        let mut a = engine();
+        a.register(ContinuousQuery::new(1, p("0110*"))); // resident in 011*
+        a.register(ContinuousQuery::new(2, p("00*"))); // resident in 00*
+        let moved = a.extract_group(p("011*"));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(a.query_count(), 1);
+        let mut b = engine();
+        b.register_all(moved);
+        assert_eq!(b.ingest(k("01101111")), vec![1]);
+    }
+}

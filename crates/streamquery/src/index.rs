@@ -1,0 +1,385 @@
+//! A binary trie matching packet keys to every subscribed region
+//! containing them.
+//!
+//! Matching is the hot path of a continuous-query engine (NiagaraCQ,
+//! XFilter — the systems the paper's §1 cites for "efficient indices over
+//! streams and queries with intersecting attribute values"): one packet
+//! must fan out to all queries whose region contains its key. A binary
+//! trie keyed by region prefix makes that a single O(N) descent,
+//! independent of the number of queries.
+
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+
+use crate::query::ContinuousQuery;
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    /// Queries subscribed exactly at this prefix.
+    queries: Vec<ContinuousQuery>,
+    children: [Option<Box<Node>>; 2],
+}
+
+impl Node {
+    fn is_empty_shell(&self) -> bool {
+        self.queries.is_empty() && self.children.iter().all(Option::is_none)
+    }
+}
+
+/// A prefix trie over query subscriptions.
+///
+/// # Example
+///
+/// ```
+/// use clash_keyspace::key::Key;
+/// use clash_keyspace::prefix::Prefix;
+/// use clash_streamquery::index::QueryIndex;
+/// use clash_streamquery::query::ContinuousQuery;
+///
+/// let mut idx = QueryIndex::new(8.try_into()?);
+/// idx.insert(ContinuousQuery::new(1, Prefix::parse("01*", 8)?));
+/// idx.insert(ContinuousQuery::new(2, Prefix::parse("0110*", 8)?));
+/// let hits = idx.matches(Key::parse("01101111", 8)?);
+/// assert_eq!(hits.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryIndex {
+    width: KeyWidth,
+    root: Node,
+    len: usize,
+}
+
+impl QueryIndex {
+    /// Creates an empty index for keys of the given width.
+    pub fn new(width: KeyWidth) -> Self {
+        QueryIndex {
+            width,
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// The key width.
+    pub fn width(&self) -> KeyWidth {
+        self.width
+    }
+
+    /// Number of stored queries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no queries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's region width differs from the index width.
+    pub fn insert(&mut self, query: ContinuousQuery) {
+        let region = query.region();
+        assert_eq!(region.width(), self.width, "region width mismatch");
+        let mut node = &mut self.root;
+        for i in 0..region.depth() {
+            let bit = ((region.pattern() >> (region.depth() - 1 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        node.queries.push(query);
+        self.len += 1;
+    }
+
+    /// Removes the query with `id` subscribed at `region`. Returns true if
+    /// it was present.
+    pub fn remove(&mut self, region: Prefix, id: u64) -> bool {
+        fn rec(node: &mut Node, region: Prefix, i: u32, id: u64) -> bool {
+            if i == region.depth() {
+                let before = node.queries.len();
+                node.queries.retain(|q| q.id() != id);
+                return node.queries.len() < before;
+            }
+            let bit = ((region.pattern() >> (region.depth() - 1 - i)) & 1) as usize;
+            let Some(child) = node.children[bit].as_deref_mut() else {
+                return false;
+            };
+            let removed = rec(child, region, i + 1, id);
+            if removed && child.is_empty_shell() {
+                node.children[bit] = None;
+            }
+            removed
+        }
+        let removed = rec(&mut self.root, region, 0, id);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// All queries whose region contains `key`, in root-to-leaf order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key width differs from the index width.
+    pub fn matches(&self, key: Key) -> Vec<ContinuousQuery> {
+        let mut out = Vec::new();
+        self.for_each_match(key, |q| out.push(*q));
+        out
+    }
+
+    /// Visits every query whose region contains `key` without allocating.
+    pub fn for_each_match(&self, key: Key, mut f: impl FnMut(&ContinuousQuery)) {
+        assert_eq!(key.width(), self.width, "key width mismatch");
+        let mut node = &self.root;
+        for q in &node.queries {
+            f(q);
+        }
+        for i in 0..self.width.get() {
+            let bit = key.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    for q in &node.queries {
+                        f(q);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of queries matching `key` (no allocation).
+    pub fn count_matches(&self, key: Key) -> usize {
+        let mut n = 0;
+        self.for_each_match(key, |_| n += 1);
+        n
+    }
+
+    /// True if a query with `id` is registered exactly at `region`.
+    pub fn contains(&self, region: Prefix, id: u64) -> bool {
+        let mut node = &self.root;
+        for i in 0..region.depth() {
+            let bit = ((region.pattern() >> (region.depth() - 1 - i)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        node.queries.iter().any(|q| q.id() == id)
+    }
+
+    /// Removes and returns every query whose *identifier key* lies inside
+    /// `group` — the unit of CLASH state migration. Note this is the set
+    /// of queries placed in the group, not the set of queries overlapping
+    /// it: a query subscribed to an ancestor region is placed at its
+    /// region's origin and migrates with whichever group owns that origin.
+    pub fn extract_group(&mut self, group: Prefix) -> Vec<ContinuousQuery> {
+        assert_eq!(group.width(), self.width, "group width mismatch");
+        let mut extracted = Vec::new();
+        fn rec(
+            node: &mut Node,
+            group: Prefix,
+            depth: u32,
+            extracted: &mut Vec<ContinuousQuery>,
+        ) {
+            // Collect here if this node's prefix origin lies in the group:
+            // for nodes above the group depth, the query's identifier key
+            // (region origin, zero-padded) is in the group iff the group's
+            // remaining pattern bits are all zero along this path — handled
+            // by only descending the group's own bit path above its depth.
+            node.queries.retain(|q| {
+                if group.contains(q.identifier_key()) {
+                    extracted.push(*q);
+                    false
+                } else {
+                    true
+                }
+            });
+            if depth < group.depth() {
+                // Above the group: only the group's own path can contain
+                // identifier keys in the group.
+                let bit = ((group.pattern() >> (group.depth() - 1 - depth)) & 1) as usize;
+                if let Some(child) = node.children[bit].as_deref_mut() {
+                    rec(child, group, depth + 1, extracted);
+                    if child.is_empty_shell() {
+                        node.children[bit] = None;
+                    }
+                }
+            } else {
+                // At or below the group: every descendant's origin is
+                // inside the group.
+                for bit in 0..2 {
+                    if let Some(child) = node.children[bit].as_deref_mut() {
+                        rec(child, group, depth + 1, extracted);
+                        if child.is_empty_shell() {
+                            node.children[bit] = None;
+                        }
+                    }
+                }
+            }
+        }
+        rec(&mut self.root, group, 0, &mut extracted);
+        self.len -= extracted.len();
+        extracted
+    }
+
+    /// Iterates over all stored queries (no particular order guarantees
+    /// beyond root-before-descendants).
+    pub fn iter(&self) -> impl Iterator<Item = &ContinuousQuery> {
+        let mut stack = vec![&self.root];
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            for child in node.children.iter().flatten() {
+                stack.push(child);
+            }
+            if !node.queries.is_empty() {
+                return Some(&node.queries);
+            }
+        })
+        .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> QueryIndex {
+        QueryIndex::new(KeyWidth::new(8).unwrap())
+    }
+
+    fn p(s: &str) -> Prefix {
+        Prefix::parse(s, 8).unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        Key::parse(s, 8).unwrap()
+    }
+
+    #[test]
+    fn matches_all_containing_regions() {
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, p("0*")));
+        i.insert(ContinuousQuery::new(2, p("01*")));
+        i.insert(ContinuousQuery::new(3, p("0110*")));
+        i.insert(ContinuousQuery::new(4, p("0111*")));
+        let ids: Vec<u64> = i.matches(k("01101010")).iter().map(|q| q.id()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(i.count_matches(k("01101010")), 3);
+        assert_eq!(i.count_matches(k("10000000")), 0);
+    }
+
+    #[test]
+    fn root_subscription_matches_everything() {
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, Prefix::root(i.width())));
+        assert_eq!(i.count_matches(k("00000000")), 1);
+        assert_eq!(i.count_matches(k("11111111")), 1);
+    }
+
+    #[test]
+    fn full_depth_subscription_matches_single_key() {
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, p("01101010")));
+        assert_eq!(i.count_matches(k("01101010")), 1);
+        assert_eq!(i.count_matches(k("01101011")), 0);
+    }
+
+    #[test]
+    fn remove_by_region_and_id() {
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, p("01*")));
+        i.insert(ContinuousQuery::new(2, p("01*")));
+        assert_eq!(i.len(), 2);
+        assert!(i.remove(p("01*"), 1));
+        assert!(!i.remove(p("01*"), 1));
+        assert!(!i.remove(p("11*"), 2));
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.count_matches(k("01000000")), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_in_different_regions_coexist() {
+        // The index itself does not police id uniqueness across regions.
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, p("01*")));
+        i.insert(ContinuousQuery::new(1, p("10*")));
+        assert_eq!(i.len(), 2);
+        assert!(i.remove(p("01*"), 1));
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.count_matches(k("10000000")), 1);
+    }
+
+    #[test]
+    fn extract_group_takes_resident_queries() {
+        let mut i = idx();
+        // Origin of "0110*" is 01100000 — inside group "011*".
+        i.insert(ContinuousQuery::new(1, p("0110*")));
+        // Origin of "01*" is 01000000 — inside group "010*", not "011*".
+        i.insert(ContinuousQuery::new(2, p("01*")));
+        // Origin of "01111111" — inside "011*".
+        i.insert(ContinuousQuery::new(3, p("01111111")));
+        let out = i.extract_group(p("011*"));
+        let mut ids: Vec<u64> = out.iter().map(|q| q.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(i.len(), 1);
+        // The ancestor query (id 2) still matches keys in 011*.
+        assert_eq!(i.count_matches(k("01101111")), 1);
+    }
+
+    #[test]
+    fn extract_then_reinsert_preserves_matching() {
+        let mut a = idx();
+        for id in 0..20 {
+            let depth = 1 + (id % 7) as u32;
+            let pattern = (id * 37) % (1 << depth);
+            let region = Prefix::new(pattern, depth, a.width()).unwrap();
+            a.insert(ContinuousQuery::new(id, region));
+        }
+        let mut b = idx();
+        let moved = a.extract_group(p("01*"));
+        for q in moved {
+            b.insert(q);
+        }
+        // Every key's total match count across both engines equals the
+        // original index's count.
+        let mut original = idx();
+        for id in 0..20 {
+            let depth = 1 + (id % 7) as u32;
+            let pattern = (id * 37) % (1 << depth);
+            let region = Prefix::new(pattern, depth, original.width()).unwrap();
+            original.insert(ContinuousQuery::new(id, region));
+        }
+        for bits in 0..256u64 {
+            let key = Key::from_bits_truncated(bits, a.width());
+            assert_eq!(
+                a.count_matches(key) + b.count_matches(key),
+                original.count_matches(key),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut i = idx();
+        i.insert(ContinuousQuery::new(1, p("0*")));
+        i.insert(ContinuousQuery::new(2, p("0110*")));
+        i.insert(ContinuousQuery::new(3, p("11*")));
+        let mut ids: Vec<u64> = i.iter().map(|q| q.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let mut i = idx();
+        assert!(i.is_empty());
+        assert!(i.matches(k("00000000")).is_empty());
+        assert!(i.extract_group(p("0*")).is_empty());
+        assert!(!i.remove(p("0*"), 1));
+    }
+}

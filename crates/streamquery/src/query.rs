@@ -1,0 +1,88 @@
+//! Continuous queries: long-lived subscriptions to key-space regions.
+
+use std::fmt;
+
+use clash_keyspace::key::Key;
+use clash_keyspace::prefix::Prefix;
+
+/// A long-lived query subscribing to all data whose identifier key falls
+/// in a region of the key space.
+///
+/// Its *identifier key* — the key CLASH uses to place the query on a
+/// server — is the region's virtual key, so a query lives with the data
+/// at the top-left of its region. A query whose region is coarser than
+/// the current key-group partition will miss packets routed to sibling
+/// groups; [`crate::engine::QueryEngine`] exposes that as the *coverage*
+/// metric (the replication cost the paper's §1 attributes to plain DHTs
+/// and §7 proposes range-query support for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContinuousQuery {
+    id: u64,
+    region: Prefix,
+}
+
+impl ContinuousQuery {
+    /// Creates a query with a unique id subscribing to `region`.
+    pub fn new(id: u64, region: Prefix) -> Self {
+        ContinuousQuery { id, region }
+    }
+
+    /// The query's unique identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The subscribed region.
+    pub fn region(&self) -> Prefix {
+        self.region
+    }
+
+    /// The identifier key CLASH hashes to place this query.
+    pub fn identifier_key(&self) -> Key {
+        self.region.virtual_key()
+    }
+
+    /// True if a packet with `key` matches this subscription.
+    pub fn matches(&self, key: Key) -> bool {
+        self.region.contains(key)
+    }
+}
+
+impl fmt::Display for ContinuousQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}@{}", self.id, self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        Prefix::parse(s, 8).unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        Key::parse(s, 8).unwrap()
+    }
+
+    #[test]
+    fn matches_region_membership() {
+        let q = ContinuousQuery::new(1, p("0110*"));
+        assert!(q.matches(k("01101111")));
+        assert!(!q.matches(k("01111111")));
+    }
+
+    #[test]
+    fn identifier_key_is_region_origin() {
+        let q = ContinuousQuery::new(1, p("0110*"));
+        assert_eq!(q.identifier_key(), k("01100000"));
+        assert!(q.region().contains(q.identifier_key()));
+    }
+
+    #[test]
+    fn display_names_query_and_region() {
+        let q = ContinuousQuery::new(7, p("01*"));
+        assert_eq!(q.to_string(), "q7@01*");
+    }
+}

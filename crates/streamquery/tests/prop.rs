@@ -1,0 +1,109 @@
+//! Property tests: the query index agrees with brute-force matching, and
+//! migration conserves queries.
+
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+use clash_streamquery::index::QueryIndex;
+use clash_streamquery::query::ContinuousQuery;
+use proptest::prelude::*;
+
+const WIDTH: u32 = 10;
+
+fn w() -> KeyWidth {
+    KeyWidth::new(WIDTH).unwrap()
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..=WIDTH)
+        .prop_flat_map(|depth| {
+            let bound = if depth == 0 { 1 } else { 1u64 << depth };
+            (Just(depth), 0..bound)
+        })
+        .prop_map(|(depth, pattern)| Prefix::new(pattern, depth, w()).unwrap())
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    (0u64..(1u64 << WIDTH)).prop_map(|bits| Key::new(bits, w()).unwrap())
+}
+
+proptest! {
+    /// Trie matching equals the brute-force scan over all queries.
+    #[test]
+    fn matches_equal_bruteforce(
+        regions in prop::collection::vec(arb_prefix(), 0..40),
+        probe in arb_key(),
+    ) {
+        let mut index = QueryIndex::new(w());
+        let queries: Vec<ContinuousQuery> = regions
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| ContinuousQuery::new(i as u64, r))
+            .collect();
+        for q in &queries {
+            index.insert(*q);
+        }
+        let mut got: Vec<u64> = index.matches(probe).iter().map(|q| q.id()).collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = queries
+            .iter()
+            .filter(|q| q.matches(probe))
+            .map(|q| q.id())
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// extract_group removes exactly the queries whose identifier key is
+    /// in the group, and the union of both sides matches everything the
+    /// original did.
+    #[test]
+    fn extraction_conserves_queries(
+        regions in prop::collection::vec(arb_prefix(), 0..40),
+        group in arb_prefix(),
+        probes in prop::collection::vec(arb_key(), 1..10),
+    ) {
+        let mut index = QueryIndex::new(w());
+        for (i, &r) in regions.iter().enumerate() {
+            index.insert(ContinuousQuery::new(i as u64, r));
+        }
+        let before = index.len();
+        let mut rest_counts = Vec::new();
+        let moved = index.extract_group(group);
+        prop_assert_eq!(index.len() + moved.len(), before);
+        for q in &moved {
+            prop_assert!(group.contains(q.identifier_key()));
+        }
+        for q in index.iter() {
+            prop_assert!(!group.contains(q.identifier_key()));
+        }
+        // Matching is conserved across the two sides.
+        let mut other = QueryIndex::new(w());
+        for q in moved {
+            other.insert(q);
+        }
+        for probe in probes {
+            let total = index.count_matches(probe) + other.count_matches(probe);
+            rest_counts.push(total);
+            let expected = regions
+                .iter()
+                .filter(|r| r.contains(probe))
+                .count();
+            prop_assert_eq!(total, expected);
+        }
+    }
+
+    /// Insert/remove round-trips leave no residue.
+    #[test]
+    fn insert_remove_roundtrip(regions in prop::collection::vec(arb_prefix(), 1..30)) {
+        let mut index = QueryIndex::new(w());
+        for (i, &r) in regions.iter().enumerate() {
+            index.insert(ContinuousQuery::new(i as u64, r));
+        }
+        for (i, &r) in regions.iter().enumerate() {
+            prop_assert!(index.remove(r, i as u64));
+        }
+        prop_assert!(index.is_empty());
+        // The trie is fully pruned: nothing matches anywhere.
+        prop_assert_eq!(index.count_matches(Key::new(0, w()).unwrap()), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation for the CLASH experiments.
+//!
+//! The paper's evaluation (§6.1) drives the system with synthetic
+//! workloads over an N = 24-bit key split into an 8-bit *base* portion —
+//! drawn from one of three skewed distributions (Figure 3) — and a
+//! uniform 16-bit remainder:
+//!
+//! * **Workload A** — almost uniform, sources stream at 1 pkt/s;
+//! * **Workload B** — moderately skewed, 2 pkt/s;
+//! * **Workload C** — highly skewed (one dominant spike), 2 pkt/s.
+//!
+//! Sources change keys every `Ld` packets (exponential, mean 1000) —
+//! the "virtual stream" model — and query clients live for an
+//! exponential `Lq` (mean 30 min).
+//!
+//! This crate provides the distributions ([`skew`]), the per-client
+//! stochastic models ([`source`]), and the end-to-end scenario
+//! descriptions ([`scenario`]) consumed by the `clash-sim` experiment
+//! drivers. The absolute calibration constants (spike masses, bump
+//! widths) are documented in `DESIGN.md` §5; they are chosen so the
+//! non-adaptive `DHT(6)` baseline peaks near the paper's ~25× capacity
+//! under workload C.
+
+pub mod scenario;
+pub mod skew;
+pub mod source;
+
+pub use scenario::{Phase, ScenarioSpec};
+pub use skew::{Workload, WorkloadKind};
+pub use source::{SourceModel, QueryClientModel};

@@ -1,0 +1,338 @@
+//! The Figure 3 key-frequency distributions.
+//!
+//! Keys are composed of an `X`-bit base portion drawn from a skewed
+//! distribution over `2^X` values plus a uniform remainder (§6.1,
+//! X = 8). The three workloads differ only in the base distribution:
+//! A ≈ uniform, B = two moderate Gaussian bumps, C = one narrow dominant
+//! spike over a small floor.
+
+use clash_keyspace::key::{Key, KeyWidth};
+use clash_keyspace::prefix::Prefix;
+use clash_simkernel::dist::DiscreteDist;
+use clash_simkernel::rng::DetRng;
+
+/// Which of the paper's three workloads (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Almost uniform; 1 pkt/s per source.
+    A,
+    /// Moderately skewed; 2 pkt/s per source.
+    B,
+    /// Highly skewed; 2 pkt/s per source.
+    C,
+}
+
+impl WorkloadKind {
+    /// All three workloads in the order the 6-hour scenario plays them.
+    pub const ALL: [WorkloadKind; 3] = [WorkloadKind::A, WorkloadKind::B, WorkloadKind::C];
+
+    /// Per-source data rate in packets/sec (§6.1).
+    pub fn source_rate(self) -> f64 {
+        match self {
+            WorkloadKind::A => 1.0,
+            WorkloadKind::B | WorkloadKind::C => 2.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::A => "A",
+            WorkloadKind::B => "B",
+            WorkloadKind::C => "C",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A key-generating workload: skewed base bits plus uniform remainder.
+///
+/// # Example
+///
+/// ```
+/// use clash_keyspace::key::KeyWidth;
+/// use clash_simkernel::rng::DetRng;
+/// use clash_workload::skew::{Workload, WorkloadKind};
+///
+/// let w = Workload::paper(WorkloadKind::C);
+/// let mut rng = DetRng::new(1);
+/// let key = w.sample_key(KeyWidth::PAPER, &mut rng);
+/// assert_eq!(key.width(), KeyWidth::PAPER);
+/// // Workload C concentrates most of its mass near the spike.
+/// assert!(w.mass_of_base(w.spike_center()) > 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+    base_bits: u32,
+    weights: Vec<f64>,
+    dist: DiscreteDist,
+    spike_center: usize,
+}
+
+impl Workload {
+    /// The paper's calibration of each workload over an 8-bit base.
+    pub fn paper(kind: WorkloadKind) -> Self {
+        Workload::with_base_bits(kind, 8)
+    }
+
+    /// A workload over a `base_bits`-bit base portion (tests use smaller
+    /// bases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_bits` is 0 or above 16.
+    pub fn with_base_bits(kind: WorkloadKind, base_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&base_bits),
+            "base bits must be in 1..=16, got {base_bits}"
+        );
+        let n = 1usize << base_bits;
+        let center = n / 2;
+        let scale = n as f64 / 256.0; // keep shapes comparable across bases
+        let gaussian = |v: usize, c: f64, sigma: f64, amp: f64| -> f64 {
+            let d = v as f64 - c;
+            amp * (-d * d / (2.0 * sigma * sigma)).exp()
+        };
+        let weights: Vec<f64> = (0..n)
+            .map(|v| match kind {
+                // A: uniform with a light deterministic ripple (the paper's
+                // Figure 3 shows A as noisy-flat).
+                WorkloadKind::A => 1.0 + 0.1 * ((v as f64) * 0.7).sin(),
+                // B: two moderate bumps at 5/16 and 11/16 of the range.
+                WorkloadKind::B => {
+                    1.0 + gaussian(v, n as f64 * 5.0 / 16.0, 12.0 * scale, 6.0)
+                        + gaussian(v, n as f64 * 11.0 / 16.0, 10.0 * scale, 4.0)
+                }
+                // C: one narrow dominant spike over a small floor,
+                // calibrated so the hottest DHT(6) bucket holds ≈ 30% of
+                // the total mass (→ the paper's ~25× capacity peak).
+                WorkloadKind::C => {
+                    0.5 + gaussian(v, center as f64, 1.5 * scale, 55.0)
+                }
+            })
+            .collect();
+        let dist = DiscreteDist::new(&weights);
+        Workload {
+            kind,
+            base_bits,
+            weights,
+            dist,
+            spike_center: center,
+        }
+    }
+
+    /// Which workload this is.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Number of base bits (X).
+    pub fn base_bits(&self) -> u32 {
+        self.base_bits
+    }
+
+    /// The index of workload C's spike center (meaningful for C; the
+    /// midpoint otherwise).
+    pub fn spike_center(&self) -> usize {
+        self.spike_center
+    }
+
+    /// The raw per-base-value weights (the Figure 3 series, up to
+    /// normalization).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Probability mass of base value `v`.
+    pub fn mass_of_base(&self, v: usize) -> f64 {
+        self.dist.mass(v)
+    }
+
+    /// Samples a full key: skewed base bits in the most significant
+    /// positions, uniform remainder below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key width is smaller than the base width.
+    pub fn sample_key(&self, width: KeyWidth, rng: &mut DetRng) -> Key {
+        assert!(
+            width.get() >= self.base_bits,
+            "key width {width} below base bits {}",
+            self.base_bits
+        );
+        let base = self.dist.sample(rng) as u64;
+        let rest_bits = width.get() - self.base_bits;
+        let rest = if rest_bits == 0 {
+            0
+        } else {
+            rng.next_u64() & ((1u64 << rest_bits) - 1)
+        };
+        Key::from_bits_truncated((base << rest_bits) | rest, width)
+    }
+
+    /// Expected fraction of the total data rate landing in a key group —
+    /// the analytic ground truth for calibration tests.
+    pub fn mass_of_prefix(&self, prefix: Prefix) -> f64 {
+        let width = prefix.width().get();
+        let rest_bits = width - self.base_bits;
+        if prefix.depth() <= self.base_bits {
+            // The group spans whole base values.
+            let span = 1usize << (self.base_bits - prefix.depth());
+            let start = (prefix.pattern() as usize) << (self.base_bits - prefix.depth());
+            (start..start + span).map(|v| self.dist.mass(v)).sum()
+        } else {
+            // The group is a fraction of one base value; the remainder is
+            // uniform.
+            let base = (prefix.pattern() >> (prefix.depth() - self.base_bits)) as usize;
+            let extra = prefix.depth() - self.base_bits;
+            debug_assert!(extra <= rest_bits);
+            self.dist.mass(base) / (1u64 << extra) as f64
+        }
+    }
+
+    /// The Figure 3 table: `(base value, expected packets/sec)` given a
+    /// source population and per-source rate.
+    pub fn figure3_series(&self, sources: usize, rate: f64) -> Vec<(usize, f64)> {
+        let total = sources as f64 * rate;
+        (0..self.weights.len())
+            .map(|v| (v, total * self.dist.mass(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0xF163)
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        for kind in WorkloadKind::ALL {
+            let w = Workload::paper(kind);
+            let total: f64 = (0..256).map(|v| w.mass_of_base(v)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "workload {kind}: {total}");
+        }
+    }
+
+    #[test]
+    fn skew_ordering_a_less_than_b_less_than_c() {
+        // Max base-value mass strictly increases with skew.
+        let max_mass = |kind| {
+            let w = Workload::paper(kind);
+            (0..256).map(|v| w.mass_of_base(v)).fold(0.0, f64::max)
+        };
+        let (a, b, c) = (
+            max_mass(WorkloadKind::A),
+            max_mass(WorkloadKind::B),
+            max_mass(WorkloadKind::C),
+        );
+        assert!(a < b && b < c, "a={a} b={b} c={c}");
+        // A is near uniform.
+        assert!(a < 1.5 / 256.0);
+    }
+
+    #[test]
+    fn workload_c_spike_calibration() {
+        // The hottest depth-6 group (4 adjacent base values) must hold
+        // roughly 30% of the mass — the DHT(6) ≈ 25× capacity target.
+        let w = Workload::paper(WorkloadKind::C);
+        let hottest: f64 = (0..64)
+            .map(|g| {
+                let p = Prefix::new(g, 6, KeyWidth::PAPER).unwrap();
+                w.mass_of_prefix(p)
+            })
+            .fold(0.0, f64::max);
+        assert!(
+            (0.2..0.45).contains(&hottest),
+            "hottest depth-6 group mass {hottest}"
+        );
+    }
+
+    #[test]
+    fn source_rates_match_paper() {
+        assert_eq!(WorkloadKind::A.source_rate(), 1.0);
+        assert_eq!(WorkloadKind::B.source_rate(), 2.0);
+        assert_eq!(WorkloadKind::C.source_rate(), 2.0);
+    }
+
+    #[test]
+    fn sampling_matches_masses() {
+        let w = Workload::paper(WorkloadKind::C);
+        let mut r = rng();
+        let n = 200_000;
+        let mut spike_hits = 0;
+        let spike = w.spike_center();
+        for _ in 0..n {
+            let key = w.sample_key(KeyWidth::PAPER, &mut r);
+            let base = (key.bits() >> 16) as usize;
+            if (base as i64 - spike as i64).abs() <= 3 {
+                spike_hits += 1;
+            }
+        }
+        let expected: f64 = ((spike - 3)..=(spike + 3)).map(|v| w.mass_of_base(v)).sum();
+        let got = spike_hits as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.01,
+            "spike mass: got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mass_of_prefix_consistency() {
+        // Sum over any uniform partition equals 1, at depths above and
+        // below the base width.
+        let w = Workload::paper(WorkloadKind::B);
+        for depth in [2u32, 6, 8, 10] {
+            let total: f64 = (0..(1u64 << depth))
+                .map(|g| {
+                    let p = Prefix::new(g, depth, KeyWidth::PAPER).unwrap();
+                    w.mass_of_prefix(p)
+                })
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "depth {depth}: {total}");
+        }
+    }
+
+    #[test]
+    fn mass_of_prefix_splits_evenly_below_base() {
+        let w = Workload::paper(WorkloadKind::A);
+        let parent = Prefix::new(128, 8, KeyWidth::PAPER).unwrap();
+        let (l, r) = parent.split().unwrap();
+        assert!((w.mass_of_prefix(l) - w.mass_of_prefix(parent) / 2.0).abs() < 1e-12);
+        assert!((w.mass_of_prefix(l) - w.mass_of_prefix(r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure3_series_scales_with_population() {
+        let w = Workload::paper(WorkloadKind::A);
+        let series = w.figure3_series(100_000, 1.0);
+        assert_eq!(series.len(), 256);
+        let total: f64 = series.iter().map(|&(_, pkts)| pkts).sum();
+        assert!((total - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_base_workloads_for_tests() {
+        let w = Workload::with_base_bits(WorkloadKind::C, 4);
+        let total: f64 = (0..16).map(|v| w.mass_of_base(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mut r = rng();
+        let key = w.sample_key(KeyWidth::new(8).unwrap(), &mut r);
+        assert_eq!(key.width().get(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "base bits")]
+    fn zero_base_bits_rejected() {
+        Workload::with_base_bits(WorkloadKind::A, 0);
+    }
+}

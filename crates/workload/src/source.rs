@@ -1,0 +1,134 @@
+//! Stochastic client models: streaming data sources and query clients.
+
+use clash_simkernel::dist::Exponential;
+use clash_simkernel::rng::DetRng;
+use clash_simkernel::time::SimDuration;
+
+/// The data-source model of §6: constant-rate packet streams whose key
+/// changes every `Ld` packets ("virtual streams"), with `Ld` exponential.
+///
+/// # Example
+///
+/// ```
+/// use clash_simkernel::rng::DetRng;
+/// use clash_workload::source::SourceModel;
+///
+/// let model = SourceModel::new(2.0, 1000.0); // 2 pkt/s, mean Ld = 1000
+/// let mut rng = DetRng::new(3);
+/// let d = model.sample_stream_duration(&mut rng);
+/// assert!(d.as_secs_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SourceModel {
+    rate: f64,
+    stream_len: Exponential,
+}
+
+impl SourceModel {
+    /// Creates a model with the given packet rate and mean virtual-stream
+    /// length in packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `mean_stream_packets` is not positive.
+    pub fn new(rate: f64, mean_stream_packets: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        SourceModel {
+            rate,
+            stream_len: Exponential::with_mean(mean_stream_packets),
+        }
+    }
+
+    /// Packets per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean virtual-stream length in packets.
+    pub fn mean_stream_packets(&self) -> f64 {
+        self.stream_len.mean()
+    }
+
+    /// Draws the duration of the next virtual stream: `Ld / rate`
+    /// seconds, with `Ld ~ Exp(mean)`. At least one packet's worth of
+    /// time, so the event loop always advances.
+    pub fn sample_stream_duration(&self, rng: &mut DetRng) -> SimDuration {
+        let packets = self.stream_len.sample(rng).max(1.0);
+        SimDuration::from_secs_f64(packets / self.rate)
+    }
+}
+
+/// The query-client model of §6.1: clients register a continuous query
+/// and expire after an exponential lifetime (`Lq`, mean 30 min).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryClientModel {
+    lifetime: Exponential,
+}
+
+impl QueryClientModel {
+    /// Creates a model with the given mean lifetime.
+    pub fn new(mean_lifetime: SimDuration) -> Self {
+        QueryClientModel {
+            lifetime: Exponential::with_mean(mean_lifetime.as_secs_f64()),
+        }
+    }
+
+    /// The paper's calibration: mean 30 minutes.
+    pub fn paper() -> Self {
+        QueryClientModel::new(SimDuration::from_mins(30))
+    }
+
+    /// Mean lifetime.
+    pub fn mean_lifetime(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.lifetime.mean())
+    }
+
+    /// Draws one client lifetime (at least one second).
+    pub fn sample_lifetime(&self, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.lifetime.sample(rng).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_duration_mean_is_ld_over_rate() {
+        let model = SourceModel::new(2.0, 1000.0);
+        let mut rng = DetRng::new(1);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| model.sample_stream_duration(&mut rng).as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        // 1000 packets at 2/s = 500 s.
+        assert!((mean - 500.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn stream_duration_is_positive() {
+        let model = SourceModel::new(1.0, 50.0);
+        let mut rng = DetRng::new(2);
+        assert!((0..1000).all(|_| !model.sample_stream_duration(&mut rng).is_zero()));
+    }
+
+    #[test]
+    fn lifetime_mean_matches() {
+        let model = QueryClientModel::paper();
+        assert_eq!(model.mean_lifetime(), SimDuration::from_mins(30));
+        let mut rng = DetRng::new(3);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| model.sample_lifetime(&mut rng).as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1800.0).abs() < 50.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        SourceModel::new(0.0, 10.0);
+    }
+}

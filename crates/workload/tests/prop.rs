@@ -1,0 +1,79 @@
+//! Property tests for the workload generators.
+
+use clash_keyspace::key::KeyWidth;
+use clash_keyspace::prefix::Prefix;
+use clash_simkernel::rng::DetRng;
+use clash_simkernel::time::SimDuration;
+use clash_workload::scenario::ScenarioSpec;
+use clash_workload::skew::{Workload, WorkloadKind};
+use proptest::prelude::*;
+
+fn kind_from(i: u8) -> WorkloadKind {
+    WorkloadKind::ALL[(i % 3) as usize]
+}
+
+proptest! {
+    /// mass_of_prefix is additive under splitting at every depth.
+    #[test]
+    fn prefix_mass_is_additive(kind in 0u8..3, depth in 0u32..12, pattern_seed in any::<u64>()) {
+        let w = Workload::paper(kind_from(kind));
+        let width = KeyWidth::PAPER;
+        let pattern = if depth == 0 { 0 } else { pattern_seed & ((1u64 << depth) - 1) };
+        let prefix = Prefix::new(pattern, depth, width).unwrap();
+        let (l, r) = prefix.split().unwrap();
+        let whole = w.mass_of_prefix(prefix);
+        let parts = w.mass_of_prefix(l) + w.mass_of_prefix(r);
+        prop_assert!((whole - parts).abs() < 1e-12, "whole {whole} vs parts {parts}");
+    }
+
+    /// Sampled keys always land in prefixes proportionally to their mass
+    /// (coarse statistical check on a random depth-4 group).
+    #[test]
+    fn sampling_respects_prefix_mass(kind in 0u8..3, pattern in 0u64..16, seed in 0u64..100) {
+        let w = Workload::paper(kind_from(kind));
+        let width = KeyWidth::PAPER;
+        let prefix = Prefix::new(pattern, 4, width).unwrap();
+        let expected = w.mass_of_prefix(prefix);
+        let mut rng = DetRng::new(seed);
+        let n = 30_000;
+        let hits = (0..n)
+            .filter(|_| prefix.contains(w.sample_key(width, &mut rng)))
+            .count();
+        let got = hits as f64 / n as f64;
+        // Tolerance: 4 sigma of a binomial at the observed mass.
+        let sigma = (expected * (1.0 - expected) / n as f64).sqrt();
+        prop_assert!(
+            (got - expected).abs() < 4.0 * sigma + 0.003,
+            "prefix {prefix}: got {got}, expected {expected}"
+        );
+    }
+
+    /// Scenario scaling is monotone and preserves totals proportionally.
+    #[test]
+    fn scenario_scaling_is_monotone(f1 in 0.01f64..1.0, f2 in 0.01f64..1.0) {
+        let base = ScenarioSpec::paper().with_query_clients(50_000);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let a = base.scaled(lo);
+        let b = base.scaled(hi);
+        prop_assert!(a.servers <= b.servers);
+        prop_assert!(a.sources <= b.sources);
+        prop_assert!(a.query_clients <= b.query_clients);
+        prop_assert_eq!(a.total_duration(), b.total_duration());
+    }
+
+    /// workload_at covers the whole timeline without gaps.
+    #[test]
+    fn workload_at_total_coverage(minutes in 0u64..500) {
+        let spec = ScenarioSpec::paper();
+        let t = SimDuration::from_mins(minutes);
+        let kind = spec.workload_at(t);
+        // Within the nominal 6 hours the phase boundaries are exact.
+        if minutes < 120 {
+            prop_assert_eq!(kind, WorkloadKind::A);
+        } else if minutes < 240 {
+            prop_assert_eq!(kind, WorkloadKind::B);
+        } else {
+            prop_assert_eq!(kind, WorkloadKind::C);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: a CLASH cluster in a few lines.
+//!
+//! Builds a 16-server cluster over a simulated Chord ring, attaches a
+//! skewed streaming workload, lets CLASH split the hot key groups, and
+//! shows that lookups always land on the right server while the active
+//! groups keep partitioning the key space.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_keyspace::key::Key;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8-bit keys, 16 servers, capacity 100 load units, initial depth 2.
+    let config = ClashConfig::small_test();
+    let mut cluster = ClashCluster::new(config, 16, 42)?;
+    println!(
+        "bootstrap: {} initial key groups over {} servers",
+        cluster.global_cover().len(),
+        cluster.server_count()
+    );
+
+    // Attach 120 streaming sources, all hammering the '10*' quadrant
+    // (a hotspot: e.g. every vehicle downtown at rush hour).
+    for i in 0..120u64 {
+        let key = Key::from_bits_truncated(0b1000_0000 | (i % 64), config.key_width);
+        cluster.attach_source(i, key, 2.0)?;
+    }
+    println!(
+        "attached 120 sources at 2 pkt/s each; hottest quadrant holds {} pkt/s",
+        120.0 * 2.0
+    );
+
+    // One load check: overloaded servers shed by binary splitting.
+    let report = cluster.run_load_check()?;
+    println!(
+        "load check: {} splits, {} merges",
+        report.splits.len(),
+        report.merges.len()
+    );
+    for s in &report.splits {
+        println!("  split {} on {} (right child -> {})", s.group, s.server, s.right_child_server);
+    }
+
+    // The active groups still partition the key space...
+    assert!(cluster.global_cover().is_partition());
+    let (dmin, davg, dmax) = cluster.depth_stats().expect("groups exist");
+    println!("depth after splitting: min {dmin} avg {davg:.2} max {dmax}");
+
+    // ...and every lookup lands on the true owner, in few probes.
+    let key = Key::parse("10001101", 8)?;
+    let placement = cluster.locate(key)?;
+    let (oracle_server, oracle_group) = cluster.oracle_locate(key).expect("covered");
+    assert_eq!(placement.server, oracle_server);
+    assert_eq!(placement.group, oracle_group);
+    println!(
+        "locate({key}) -> server {} group {} depth {} in {} probes",
+        placement.server, placement.group, placement.depth, placement.probes
+    );
+
+    // Cool down: detach everything; consolidation merges groups back.
+    for i in 0..120u64 {
+        cluster.detach_source(i)?;
+    }
+    for _ in 0..6 {
+        cluster.run_load_check()?;
+    }
+    let (_, _, dmax) = cluster.depth_stats().expect("groups exist");
+    println!("after cooling, max depth is back to {dmax}");
+    let stats = cluster.message_stats();
+    println!(
+        "protocol cost: {} probes, {} split msgs, {} merge msgs, {} reports",
+        stats.probes, stats.split_messages, stats.merge_messages, stats.report_messages
+    );
+    Ok(())
+}
