@@ -11,6 +11,19 @@
 //! | `query_index` | continuous-query matching & migration (§6 app) |
 //! | `split_merge` | binary splitting / consolidation actions (§4) |
 //! | `figure_runs` | end-to-end simulation throughput per Figure 4/5 cell |
+//!
+//! # Quick start
+//!
+//! ```
+//! // A small heated cluster: workload-C traffic forces a deep tree,
+//! // the realistic fixture for lookup/search benchmarks.
+//! let cluster = clash_bench::heated_cluster(8, 200, 7);
+//! assert_eq!(cluster.server_count(), 8);
+//! cluster.verify_consistency();
+//!
+//! // Deterministic benchmark key streams.
+//! assert_eq!(clash_bench::key_stream(4, 1), clash_bench::key_stream(4, 1));
+//! ```
 
 use clash_core::cluster::ClashCluster;
 use clash_core::config::ClashConfig;

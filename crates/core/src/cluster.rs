@@ -704,10 +704,12 @@ impl ClashCluster {
                         merges_done += 1;
                     }
                     MergeOutcome::Refused => {
-                        // Stale report: retry next period after fresh
-                        // reports have been delivered.
+                        // The stale report was cleared by try_merge, so
+                        // this candidate is gone; keep going — the next
+                        // candidate may still be mergeable. The loop
+                        // terminates because every refusal permanently
+                        // removes one candidate within this check.
                         report.refusals += 1;
-                        break;
                     }
                     MergeOutcome::NoCandidate => break,
                 }
@@ -890,6 +892,16 @@ impl ClashCluster {
                         .merge_group(parent, load)?;
                 }
                 ReleaseResponse::Refused => {
+                    // The report that motivated this merge is stale. Drop
+                    // it: a live child re-reports next period, but a child
+                    // orphaned by a crash (re-homed as a root) never will,
+                    // and would otherwise be asked to release every period
+                    // forever, starving this server's other merges.
+                    self.servers
+                        .get_mut(&sid_value)
+                        .expect("server exists")
+                        .table_mut()
+                        .clear_child_report(parent);
                     return Ok(MergeOutcome::Refused);
                 }
             }

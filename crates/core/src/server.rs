@@ -148,11 +148,20 @@ impl ClashServer {
     }
 
     /// Handles a leaf-to-parent `LOAD_REPORT`.
+    ///
+    /// Only reports from the *right* child are recorded: `last_child_report`
+    /// describes the remote right child, while the left child always lives
+    /// on the parent-entry holder itself (same virtual key ⇒ same server)
+    /// and is read from the table directly. Left-child reports would
+    /// otherwise overwrite the right child's state.
     pub fn handle_load_report(&mut self, group: Prefix, load: GroupLoad, is_leaf: bool) {
         let parent = match group.parent() {
             Some(p) => p,
             None => return, // root groups have no parent entry anywhere
         };
+        if group.last_bit() != Some(1) {
+            return;
+        }
         self.table
             .record_child_report(parent, ChildReport { load, is_leaf });
     }
@@ -303,18 +312,23 @@ impl ClashServer {
     /// The load reports this server's entries owe their parents this
     /// period: `(destination server, child group, load, is_leaf)`.
     ///
-    /// Active entries report their load with `is_leaf = true`; *inactive*
-    /// entries report `is_leaf = false` so that a parent holding a stale
-    /// "leaf" report cannot attempt a merge the child would refuse.
-    /// Reports to ourselves are included (the caller delivers them for
-    /// free); root groups report to nobody.
+    /// Only *right* children report: the left child always lives on the
+    /// same server as its parent entry and is read from the table directly
+    /// (see [`ClashServer::handle_load_report`], which enforces the same
+    /// rule on the receiving side). Active entries report `is_leaf =
+    /// true`; *inactive* entries report `is_leaf = false` so that a parent
+    /// holding a stale "leaf" report cannot attempt a merge the child
+    /// would refuse. Reports to ourselves (self-mapped right children)
+    /// are included; root groups report to nobody.
     pub fn pending_reports(&self) -> Vec<(ServerId, Prefix, GroupLoad, bool)> {
         let mut reports = Vec::new();
         for entry in self.table.entries() {
             match entry.parent {
                 ParentRef::Root => {}
                 ParentRef::Server(parent_server) => {
-                    reports.push((parent_server, entry.group, entry.load, entry.active));
+                    if entry.group.last_bit() == Some(1) {
+                        reports.push((parent_server, entry.group, entry.load, entry.active));
+                    }
                 }
             }
         }
@@ -449,12 +463,16 @@ mod tests {
         // Left child carries the load until the data plane repartitions.
         assert!((s.current_load() - 95.0).abs() < 1e-9);
         assert_eq!(s.stats().splits, 1);
-        // The left child reports to us (its parent entry holder) — that is
-        // a local report, still listed, flagged as a leaf.
+        // The left child does NOT report: it is co-located with its parent
+        // entry, whose holder reads it from the table directly. Only right
+        // children send load reports.
+        assert!(s.pending_reports().is_empty());
+        // A self-mapped right child, by contrast, does report (locally).
+        s.handle_accept_keygroup(p("011*"), s.id(), rate(40.0)).unwrap();
         let reports = s.pending_reports();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].0, sid(1));
-        assert_eq!(reports[0].1, p("010*"));
+        assert_eq!(reports[0].1, p("011*"));
         assert!(reports[0].3);
     }
 

@@ -300,6 +300,17 @@ impl ServerTable {
         }
     }
 
+    /// Forgets the last child report for `parent_group`. Called when the
+    /// right child refuses a `RELEASE_KEYGROUP`, which proves the report
+    /// stale: a live child re-reports next period, while a child orphaned
+    /// by a peer failure (re-homed as a root) never reports again and must
+    /// not be asked to release forever.
+    pub fn clear_child_report(&mut self, parent_group: Prefix) {
+        if let Some(entry) = self.map.get_mut(parent_group) {
+            entry.last_child_report = None;
+        }
+    }
+
     /// Consolidates `parent_group`: removes the local left child and
     /// re-activates the parent with the combined load. The caller must
     /// have reclaimed the right child first (via `RELEASE_KEYGROUP`),
@@ -456,8 +467,12 @@ impl ServerTable {
                     }
                     None => {
                         // The right child no longer exists as-is (it was
-                        // itself split before the failure); drop the stale
-                        // report so no merge is attempted against it.
+                        // itself split before the failure). Clear both the
+                        // pointer and the stale report: this subtree can
+                        // never merge above this entry again, and a dangling
+                        // pointer would otherwise resurface as a merge
+                        // target for a dead server once fresh reports flow.
+                        entry.right_child = None;
                         entry.last_child_report = None;
                     }
                 }
@@ -754,6 +769,25 @@ mod tests {
         assert_eq!(t.entry(p("01*")).unwrap().last_child_report, Some(report));
         // Unknown group: silently ignored (stale message).
         t.record_child_report(p("11*"), report);
+    }
+
+    #[test]
+    fn clear_child_report_forgets_stale_state() {
+        let mut t = ServerTable::new(sid(1), w7());
+        t.insert_root(p("01*")).unwrap();
+        t.split(p("01*")).unwrap();
+        t.set_right_child(p("01*"), sid(9)).unwrap();
+        let report = ChildReport {
+            load: rate(2.0),
+            is_leaf: true,
+        };
+        t.record_child_report(p("01*"), report);
+        assert_eq!(t.entry(p("01*")).unwrap().last_child_report, Some(report));
+        t.clear_child_report(p("01*"));
+        assert_eq!(t.entry(p("01*")).unwrap().last_child_report, None);
+        // Unknown groups are ignored (stale RELEASE exchanges can race
+        // with merges, like any other stale message).
+        t.clear_child_report(p("11*"));
     }
 
     #[test]

@@ -20,6 +20,24 @@
 //! widths) are documented in `DESIGN.md` §5; they are chosen so the
 //! non-adaptive `DHT(6)` baseline peaks near the paper's ~25× capacity
 //! under workload C.
+//!
+//! # Quick start
+//!
+//! ```
+//! use clash_keyspace::key::KeyWidth;
+//! use clash_simkernel::rng::DetRng;
+//! use clash_workload::{Workload, WorkloadKind};
+//!
+//! // Workload C: one dominant spike. Draws are deterministic per seed.
+//! let workload = Workload::paper(WorkloadKind::C);
+//! let mut rng = DetRng::new(42);
+//! let key = workload.sample_key(KeyWidth::PAPER, &mut rng);
+//! assert_eq!(key.width(), KeyWidth::PAPER);
+//!
+//! // The skewed base distribution concentrates mass near its spike.
+//! let spike = workload.spike_center();
+//! assert!(workload.mass_of_base(spike) > 0.1);
+//! ```
 
 pub mod scenario;
 pub mod skew;

@@ -1,0 +1,37 @@
+//! CLASH — the full reproduction stack, re-exported from one crate.
+//!
+//! This facade crate exists so that applications (and this repository's
+//! `tests/` and `examples/`) can depend on a single crate and so the
+//! workspace has one front door. The layers, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`keyspace`] | identifier keys, prefixes/key groups, `Shape()`, covers (paper §3–4) |
+//! | [`chord`] | the simulated Chord base DHT: `Map()` routing (paper §2, §5) |
+//! | [`simkernel`] | deterministic RNG substreams, distributions, metrics |
+//! | [`workload`] | the paper's §6 workloads A–D and arrival scenarios |
+//! | [`streamquery`] | continuous queries over placed streams (§6 application) |
+//! | [`core`] | the protocol: `ServerTable`, split/merge, depth search, cluster harness (§4–5) |
+//! | [`sim`] | the figure-by-figure experiment driver |
+//!
+//! # Quick start
+//!
+//! ```
+//! use clash::core::cluster::ClashCluster;
+//! use clash::core::config::ClashConfig;
+//! use clash::keyspace::key::Key;
+//!
+//! let mut cluster = ClashCluster::new(ClashConfig::small_test(), 8, 7)?;
+//! let key = Key::parse("10110100", 8)?;
+//! let placement = cluster.attach_source(1, key, 1.0)?;
+//! assert!(placement.depth >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use clash_chord as chord;
+pub use clash_core as core;
+pub use clash_keyspace as keyspace;
+pub use clash_sim as sim;
+pub use clash_simkernel as simkernel;
+pub use clash_streamquery as streamquery;
+pub use clash_workload as workload;

@@ -1,0 +1,264 @@
+//! Minimal stand-in for the subset of the `criterion` 0.5 API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small benchmark harness with the same surface syntax: [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups,
+//! `iter`/`iter_batched`, [`BenchmarkId`], [`BatchSize`], and [`black_box`].
+//!
+//! It performs a real (if statistically unsophisticated) measurement: after a
+//! short warm-up it times batches of iterations with `std::time::Instant` and
+//! reports the per-iteration mean and min. There is no outlier analysis, no
+//! plotting, and no saved baselines.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(40)));
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stub only uses it to pick a
+/// batch length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Parameter-only id (the group provides the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min per-iteration time of the last measurement, for reporting.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Times `routine` over several batches of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: target ~2ms per sample batch.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut mean_sum = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed() / per_batch as u32;
+            mean_sum += per_iter;
+            min = min.min(per_iter);
+        }
+        self.result = Some((mean_sum / self.samples as u32, min));
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only `routine`
+    /// is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut mean_sum = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            mean_sum += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some((mean_sum / self.samples as u32, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(samples.max(1));
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min)) => println!(
+            "{full_id:<50} mean {:>12}   min {:>12}",
+            fmt_duration(mean),
+            fmt_duration(min)
+        ),
+        None => println!("{full_id:<50} (no measurement)"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().to_string(), self.samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.samples,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (reporting is immediate in this stub; provided for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,320 @@
+//! Minimal stand-in for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! tiny, self-contained implementation instead of the real crate. It provides:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded via SplitMix64, matching the
+//!   real `SmallRng`'s design goals (fast, non-cryptographic, deterministic
+//!   from a 64-bit seed),
+//! * `gen::<u64/u32/f64/bool/…>()`, `gen_range(..)` over integer and float
+//!   ranges, and `gen_bool(p)`.
+//!
+//! It is **not** cryptographically secure and makes no attempt to reproduce
+//! the real crate's value streams — only its API and statistical quality.
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! let x: f64 = a.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! assert!(a.gen_range(0u64..10) < 10);
+//! ```
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a stream of 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw output
+/// (the `Standard` distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can produce a uniform sample (the `SampleRange` of the real
+/// crate, reduced to `Range` / `RangeInclusive` over primitives).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[low, high)` via Lemire's widening-multiply method
+/// (unbiased in practice for simulation purposes; bias < 2^-64 per draw).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, low: u64, high: u64) -> u64 {
+    assert!(low < high, "cannot sample empty range");
+    let span = high - low;
+    let mult = (rng.next_u64() as u128).wrapping_mul(span as u128);
+    low + (mult >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                uniform_u64(rng, self.start as u64, self.end as u64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return <$t as Standard>::sample_standard(rng);
+                }
+                lo + uniform_u64(rng, 0, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard (uniform) distribution.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} must be in [0,1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ with
+    /// SplitMix64 seed expansion (the same construction the real `SmallRng`
+    /// uses on 64-bit platforms).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_from_seed() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(1);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn distinct_seeds_distinct_streams() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(2);
+            assert_ne!(
+                (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+                (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn gen_range_bounds() {
+            let mut r = SmallRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                assert!(r.gen_range(10u64..20) < 20);
+                assert!(r.gen_range(10u64..20) >= 10);
+                let x = r.gen_range(0usize..7);
+                assert!(x < 7);
+                let f = r.gen_range(-1.0f64..1.0);
+                assert!((-1.0..1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn gen_bool_calibrated() {
+            let mut r = SmallRng::seed_from_u64(4);
+            let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+            let p = hits as f64 / 100_000.0;
+            assert!((p - 0.3).abs() < 0.01, "p={p}");
+        }
+
+        #[test]
+        fn inclusive_range_hits_endpoints() {
+            let mut r = SmallRng::seed_from_u64(5);
+            let mut seen = [false; 3];
+            for _ in 0..1000 {
+                seen[r.gen_range(0usize..=2)] = true;
+            }
+            assert_eq!(seen, [true; 3]);
+        }
+
+        #[test]
+        fn f64_standard_in_unit_interval() {
+            let mut r = SmallRng::seed_from_u64(6);
+            for _ in 0..10_000 {
+                let x: f64 = r.gen();
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+}
