@@ -290,27 +290,57 @@ impl SimNet {
     }
 
     /// Joins a new node through `bootstrap`: routes a lookup for its own
-    /// identifier to find its successor, then relies on the maintenance
-    /// protocol to wire the rest.
+    /// identifier to find its successor, then seeds the new node's routing
+    /// state *from that successor* — its successor list is inherited and
+    /// every finger is resolved by routing from the successor — so that
+    /// lookups starting at the freshly joined node are O(log S)
+    /// immediately instead of successor-walking until the first
+    /// [`SimNet::fix_fingers_round`]. Fingers covering the arc the new
+    /// node takes over still name the old owner until stabilization runs,
+    /// which is exactly Chord's transient.
+    ///
+    /// Returns the total inter-node messages spent (the join lookup plus
+    /// the finger-seeding lookups), or `None` if the identifier is already
+    /// taken.
     ///
     /// # Panics
     ///
     /// Panics if `bootstrap` is not alive.
-    ///
-    /// Returns false if the identifier is already taken.
-    pub fn join(&mut self, new_id: ChordId, bootstrap: ChordId) -> bool {
+    pub fn join(&mut self, new_id: ChordId, bootstrap: ChordId) -> Option<u32> {
         assert!(self.is_alive(bootstrap), "bootstrap node must be alive");
         if !self.add_node(new_id) {
-            return false;
+            return None;
         }
-        let succ = self.route(bootstrap, new_id.value()).owner;
+        let lookup = self.route(bootstrap, new_id.value());
+        let succ = lookup.owner;
+        let mut messages = lookup.hops;
+        let m = self.space.bits() as usize;
+        let mut fingers = Vec::with_capacity(m);
+        for k in 0..m {
+            let target = new_id.add_power_of_two(k as u32);
+            let r = self.route(succ, target.value());
+            fingers.push(r.owner);
+            messages = messages.saturating_add(r.hops);
+        }
+        let mut succ_list = vec![succ];
+        succ_list.extend(
+            self.nodes[&succ.value()]
+                .successor_list()
+                .iter()
+                .copied()
+                .filter(|&s| s != new_id && s != succ && self.is_alive_raw(s)),
+        );
+        succ_list.truncate(self.succ_list_len);
         let node = self
             .nodes
             .get_mut(&new_id.value())
             .expect("node just added");
-        node.set_successor_list(vec![succ]);
+        node.set_successor_list(succ_list);
         node.set_predecessor(None);
-        true
+        for (k, f) in fingers.into_iter().enumerate() {
+            node.set_finger(k, f);
+        }
+        Some(messages)
     }
 
     /// Marks a node failed (crash model: no goodbye messages).
@@ -329,6 +359,15 @@ impl SimNet {
     /// Removes failed nodes' state entirely (garbage collection).
     pub fn remove_failed(&mut self) {
         self.nodes.retain(|_, n| n.is_alive());
+    }
+
+    /// Removes a node's state entirely — the graceful-departure model: the
+    /// node announced, handed its keys off, and left, so no corpse remains
+    /// (contrast with [`SimNet::fail`], which leaves stale state behind the
+    /// way a crashed host would). Survivors' pointers to it are repaired by
+    /// the maintenance protocol. Returns false if the id is unknown.
+    pub fn remove_node(&mut self, id: ChordId) -> bool {
+        self.nodes.remove(&id.value()).is_some()
     }
 
     /// One round of Chord stabilization over every alive node (in ring
@@ -695,6 +734,64 @@ mod tests {
         net.stabilize_until_converged(128);
         assert!(net.is_fully_stabilized());
         assert_eq!(net.alive_count(), 20);
+    }
+
+    #[test]
+    fn join_seeds_fingers_from_successor() {
+        // A freshly joined node must route at full Chord efficiency
+        // *before* any fix_fingers_round: its fingers were seeded from its
+        // successor at join time, so no lookup degenerates into a
+        // successor walk around the 256-node ring.
+        let mut net = stable_net(256, 20);
+        let bootstrap = net.node_ids()[0];
+        let new_id = ChordId::new(0xF00D, space());
+        let messages = net.join(new_id, bootstrap).expect("id free");
+        assert!(messages > 0, "join lookup and finger seeding cost messages");
+        let fingers = net.node(new_id).unwrap().fingers();
+        assert!(
+            fingers.iter().any(|&f| f != new_id),
+            "fingers must be seeded, not left pointing at self"
+        );
+        let mut rng = DetRng::new(21);
+        let mut max_hops = 0;
+        for _ in 0..300 {
+            let h = rng.next_u64() & space().mask();
+            let r = net.route(new_id, h);
+            max_hops = max_hops.max(r.hops);
+        }
+        // Chord bound: ~log2(257) + slack. A successor walk would need
+        // O(256) hops for far targets.
+        assert!(max_hops <= 16, "post-join max hops {max_hops}");
+    }
+
+    #[test]
+    fn join_rejects_taken_id() {
+        let mut net = stable_net(8, 22);
+        let existing = net.node_ids()[3];
+        let bootstrap = net.node_ids()[0];
+        assert_eq!(net.join(existing, bootstrap), None);
+    }
+
+    #[test]
+    fn remove_node_departs_cleanly() {
+        let mut net = stable_net(30, 23);
+        let leaver = net.node_ids()[7];
+        assert!(net.remove_node(leaver));
+        assert!(!net.remove_node(leaver), "already gone");
+        assert!(net.node(leaver).is_none());
+        net.stabilize_until_converged(64);
+        assert!(net.is_fully_stabilized());
+        assert_eq!(net.alive_count(), 29);
+        // Lookups route around the departed node.
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(24);
+        for _ in 0..200 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            let r = net.find_successor(start, h);
+            assert_eq!(Some(r.owner), net.owner_of(h));
+            assert_ne!(r.owner, leaver);
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::error::ClashError;
 use crate::load::{GroupLoad, LoadLevel};
 use crate::messages::ReleaseResponse;
 use crate::server::ClashServer;
+use crate::table::TableEntry;
 use crate::ServerId;
 
 /// Where an object (source or query) was placed.
@@ -74,6 +75,22 @@ pub struct MessageStats {
     pub splits: u64,
     /// Merges performed.
     pub merges: u64,
+    /// `ACCEPT_KEYGROUP` placements that landed on a *remote* server —
+    /// one per completed split whose right child left the splitting
+    /// server. Self-mapped splits send no `ACCEPT_KEYGROUP`.
+    pub accept_keygroups: u64,
+    /// Self-mapped split retries: the right child mapped back to the
+    /// splitting server, which kept it and split again (§5's "another
+    /// randomized attempt"). No `ACCEPT_KEYGROUP` is sent for these.
+    pub self_mapped_retries: u64,
+    /// Messages spent on live membership: join lookups and finger
+    /// seeding, join/leave announcements, handoff `ACCEPT_KEYGROUP`s
+    /// carrying full tree state, and pointer re-point notifications.
+    pub handoff_messages: u64,
+    /// Servers that joined the running cluster.
+    pub joins: u64,
+    /// Servers that left gracefully (drained).
+    pub leaves: u64,
 }
 
 impl MessageStats {
@@ -85,16 +102,21 @@ impl MessageStats {
         self.probe_messages + self.split_messages + self.merge_messages
             + self.report_messages
             + self.redirect_messages
+            + self.handoff_messages
     }
 
     /// Control messages counting only CLASH-protocol exchanges (request +
-    /// response per probe, one `ACCEPT_KEYGROUP` per completed split,
-    /// reports, releases, redirects) — treating DHT routing as substrate
-    /// cost the way the paper's Figure 5 most plausibly does.
+    /// response per probe, one `ACCEPT_KEYGROUP` per *remote* placement,
+    /// reports, releases, redirects, membership handoffs) — treating DHT
+    /// routing as substrate cost the way the paper's Figure 5 most
+    /// plausibly does. Self-mapped split retries send no
+    /// `ACCEPT_KEYGROUP` at all, so they are deliberately *not* charged
+    /// here (they used to be, via `splits`, overcounting Figure 5).
     pub fn protocol_control_messages(&self) -> u64 {
-        2 * self.probes + self.splits + self.merge_messages
+        2 * self.probes + self.accept_keygroups + self.merge_messages
             + self.report_messages
             + self.redirect_messages
+            + self.handoff_messages
     }
 
     /// All messages including state transfer — Figure 5's case (B).
@@ -125,6 +147,50 @@ pub struct FailureReport {
     pub orphaned_parents: usize,
     /// Surviving split entries whose right-child pointer was re-pointed.
     pub repaired_right_children: usize,
+}
+
+/// Outcome of a live server join ([`ClashCluster::join_server`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinReport {
+    /// The server that joined.
+    pub joined: ServerId,
+    /// Active key groups handed off to the new server.
+    pub groups_received: usize,
+    /// Total table entries migrated, including interior (split) entries
+    /// that share their hash with a migrated left-child spine.
+    pub entries_received: usize,
+    /// Parent pointers cluster-wide re-pointed at the new server.
+    pub parents_repointed: usize,
+    /// Right-child pointers cluster-wide re-pointed at the new server.
+    pub right_children_repointed: usize,
+    /// Maintenance rounds until the ring re-converged.
+    pub stabilization_rounds: usize,
+}
+
+/// Outcome of a graceful drain ([`ClashCluster::leave_server`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaveReport {
+    /// The server that departed.
+    pub left: ServerId,
+    /// Active key groups transferred to the ring successor.
+    pub groups_transferred: usize,
+    /// Total table entries transferred (active and interior — the whole
+    /// split tree survives, unlike crash recovery).
+    pub entries_transferred: usize,
+    /// Parent pointers cluster-wide re-pointed away from the leaver.
+    pub parents_repointed: usize,
+    /// Right-child pointers cluster-wide re-pointed away from the leaver.
+    pub right_children_repointed: usize,
+    /// Maintenance rounds until the ring re-converged.
+    pub stabilization_rounds: usize,
+}
+
+/// Internal tally of one entry-migration batch.
+struct MigrationTally {
+    active_groups: usize,
+    entries: usize,
+    parents_repointed: usize,
+    right_children_repointed: usize,
 }
 
 /// Outcome of a distributed range query ([`ClashCluster::range_query`]).
@@ -783,7 +849,9 @@ impl ClashCluster {
             if self_mapped && right.depth() < self.config.max_depth {
                 // Right child maps back to us: keep it and split it again
                 // ("another randomized attempt to select a different
-                // server node", §5).
+                // server node", §5). No ACCEPT_KEYGROUP is sent — the
+                // retry is local — so it must not be charged as one.
+                self.msgs.self_mapped_retries += 1;
                 self.servers
                     .get_mut(&sid_value)
                     .expect("server exists")
@@ -802,6 +870,7 @@ impl ClashCluster {
                 self.global_index.insert(right, server_id);
             } else {
                 self.msgs.split_messages += 1; // the ACCEPT_KEYGROUP itself
+                self.msgs.accept_keygroups += 1;
                 self.msgs.state_transfer_messages += right_queries;
                 self.msgs.redirect_messages += right_sources;
                 self.servers
@@ -945,6 +1014,197 @@ impl ClashCluster {
             server: server_id,
             parent,
         }))
+    }
+
+    // ----- live membership (join / graceful leave) ----------------------
+
+    /// Adds a new server to the *running* cluster: the node joins the
+    /// Chord ring through a random bootstrap (its fingers seeded from its
+    /// successor), the ring re-stabilizes, and every table entry whose
+    /// `Map()` owner is now the new node — its slice of the successor's
+    /// arc — is handed off with an `ACCEPT_KEYGROUP` carrying full tree
+    /// state. Ledgers stay keyed by group; migrated queries are charged
+    /// as state transfer and migrated sources as redirects, and every
+    /// parent/right-child pointer naming a migrated entry's old holder is
+    /// re-pointed. Left-child spines move wholesale (they share the
+    /// parent entry's virtual key, hence its hash), so merge-ability is
+    /// fully preserved — the membership contrast to
+    /// [`ClashCluster::fail_server`]'s orphaning recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] if the identifier is already
+    /// present in the ring (alive or crashed).
+    pub fn join_server(&mut self, new_id: ServerId) -> Result<JoinReport, ClashError> {
+        if self.net.node(new_id).is_some() {
+            return Err(ClashError::InvalidConfig {
+                reason: "server id already present in the ring",
+            });
+        }
+        let bootstrap = self.net.random_alive(&mut self.rng);
+        let join_msgs = self
+            .net
+            .join(new_id, bootstrap)
+            .ok_or(ClashError::InvalidConfig {
+                reason: "server id already present in the ring",
+            })?;
+        // Join lookup + finger seeding, plus the announcement itself.
+        self.msgs.handoff_messages += u64::from(join_msgs) + 1;
+        let rounds = self.net.stabilize_until_converged(256);
+        self.servers
+            .insert(new_id.value(), ClashServer::new(new_id, self.config));
+        self.msgs.joins += 1;
+        // Every entry whose Map() owner is now the new node currently
+        // sits on the new node's ring successor (the placement invariant
+        // checked by `verify_consistency`), so only that one table needs
+        // scanning.
+        let mut to_move: Vec<TableEntry> = Vec::new();
+        let successor = self
+            .net
+            .owner_of(new_id.value().wrapping_add(1) & self.config.hash_space.mask())
+            .expect("ring is non-empty");
+        if successor != new_id {
+            let sid = successor.value();
+            let groups: Vec<Prefix> = self.servers[&sid]
+                .table()
+                .entries()
+                .filter(|e| self.map_group(e.group) == new_id)
+                .map(|e| e.group)
+                .collect();
+            for g in groups {
+                let entry = self
+                    .servers
+                    .get_mut(&sid)
+                    .expect("successor is a member")
+                    .table_mut()
+                    .extract_entry(g)
+                    .expect("snapshotted entry");
+                to_move.push(entry);
+            }
+        }
+        let tally = self.migrate_entries(to_move)?;
+        self.debug_verify();
+        Ok(JoinReport {
+            joined: new_id,
+            groups_received: tally.active_groups,
+            entries_received: tally.entries,
+            parents_repointed: tally.parents_repointed,
+            right_children_repointed: tally.right_children_repointed,
+            stabilization_rounds: rounds,
+        })
+    }
+
+    /// [`ClashCluster::join_server`] with a fresh random identifier drawn
+    /// from the cluster's deterministic RNG. Returns the id alongside the
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates join errors (identifier collisions are retried
+    /// internally, so they do not surface).
+    pub fn join_random_server(&mut self) -> Result<JoinReport, ClashError> {
+        loop {
+            let id = ServerId::new(self.rng.next_u64(), self.config.hash_space);
+            if self.net.node(id).is_none() {
+                return self.join_server(id);
+            }
+        }
+    }
+
+    /// Gracefully drains a server: it announces its departure, transfers
+    /// *all* of its table entries (active groups and interior split
+    /// entries alike, with their loads and tree pointers) to their
+    /// post-departure `Map()` owners — its ring successor — and leaves
+    /// the ring without a trace. Pointers at the leaver are re-pointed at
+    /// the receiving server. Contrast with [`ClashCluster::fail_server`]:
+    /// a crash loses the interior entries, so re-homed groups become
+    /// roots and their subtrees can never merge above the break; a drain
+    /// preserves the whole logical tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::UnknownServer`] for unknown servers and
+    /// [`ClashError::InvalidConfig`] when asked to drain the last one.
+    pub fn leave_server(&mut self, victim: ServerId) -> Result<LeaveReport, ClashError> {
+        if self.servers.len() <= 1 {
+            return Err(ClashError::InvalidConfig {
+                reason: "cannot drain the last server",
+            });
+        }
+        let server = self
+            .servers
+            .remove(&victim.value())
+            .ok_or(ClashError::UnknownServer { server: victim })?;
+        let entries: Vec<TableEntry> = server.table().entries().cloned().collect();
+        // The departure announcement to the ring successor.
+        self.msgs.handoff_messages += 1;
+        self.msgs.leaves += 1;
+        self.net.remove_node(victim);
+        let rounds = self.net.stabilize_until_converged(256);
+        let tally = self.migrate_entries(entries)?;
+        self.debug_verify();
+        Ok(LeaveReport {
+            left: victim,
+            groups_transferred: tally.active_groups,
+            entries_transferred: tally.entries,
+            parents_repointed: tally.parents_repointed,
+            right_children_repointed: tally.right_children_repointed,
+            stabilization_rounds: rounds,
+        })
+    }
+
+    /// Moves already-extracted entries to their current `Map()` owners:
+    /// installs them with tree state intact, updates the oracle for
+    /// active groups, charges state-transfer/redirect costs from the
+    /// ledgers, and re-points parent/right-child pointers cluster-wide.
+    fn migrate_entries(&mut self, entries: Vec<TableEntry>) -> Result<MigrationTally, ClashError> {
+        let mut moved_to: BTreeMap<Prefix, ServerId> = BTreeMap::new();
+        for entry in &entries {
+            moved_to.insert(entry.group, self.map_group(entry.group));
+        }
+        let mut active_groups = 0;
+        let entries_n = entries.len();
+        for entry in entries {
+            let group = entry.group;
+            let dest = moved_to[&group];
+            // One direct ACCEPT_KEYGROUP per migrated entry — sender and
+            // receiver are ring neighbours, so no DHT routing is charged.
+            self.msgs.handoff_messages += 1;
+            if entry.active {
+                if let Some(ledger) = self.ledgers.get(&group) {
+                    self.msgs.state_transfer_messages += ledger.queries.len() as u64;
+                    self.msgs.redirect_messages += ledger.sources.len() as u64;
+                }
+                self.global_index.insert(group, dest);
+                active_groups += 1;
+            }
+            self.servers
+                .get_mut(&dest.value())
+                .ok_or(ClashError::UnknownServer { server: dest })?
+                .table_mut()
+                .install_entry(entry)?;
+        }
+        let mut parents_repointed = 0;
+        let mut right_children_repointed = 0;
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        for sid in ids {
+            let (p, r) = self
+                .servers
+                .get_mut(&sid)
+                .expect("snapshotted id")
+                .table_mut()
+                .repoint_moved_entries(|g| moved_to.get(&g).copied());
+            parents_repointed += p;
+            right_children_repointed += r;
+        }
+        // Each re-point is one notification message.
+        self.msgs.handoff_messages += (parents_repointed + right_children_repointed) as u64;
+        Ok(MigrationTally {
+            active_groups,
+            entries: entries_n,
+            parents_repointed,
+            right_children_repointed,
+        })
     }
 
     // ----- extensions beyond the paper's evaluation ---------------------
@@ -1133,6 +1393,21 @@ impl ClashCluster {
                 assert_eq!(&self.queries[qid].group, group);
             }
         }
+        // 5. Every table entry sits on its group's current Map() owner —
+        // the placement invariant that membership handoffs (join/leave)
+        // and crash recovery must all preserve.
+        for server in self.servers.values() {
+            for e in server.table().entries() {
+                assert_eq!(
+                    self.map_group(e.group),
+                    server.id(),
+                    "entry {} sits on {} but Map() says {}",
+                    e.group,
+                    server.id(),
+                    self.map_group(e.group)
+                );
+            }
+        }
     }
 
     #[cfg(debug_assertions)]
@@ -1174,6 +1449,15 @@ mod tests {
     fn cluster(n: usize) -> ClashCluster {
         ClashCluster::new(ClashConfig::small_test(), n, 1).unwrap()
     }
+
+    // Pinned by `figure5_protocol_accounting_pinned`: the seed-1
+    // 8-server hot-workload run performs 2 splits, both placed remotely
+    // (2 ACCEPT_KEYGROUPs, 0 self-mapped retries), and its corrected
+    // protocol accounting is 2·168 probes + 2 accepts + 68 redirects.
+    const PIN_SPLITS: u64 = 2;
+    const PIN_ACCEPTS: u64 = 2;
+    const PIN_RETRIES: u64 = 0;
+    const PIN_PROTOCOL: u64 = 406;
 
     #[test]
     fn bootstrap_creates_partition() {
@@ -1518,6 +1802,303 @@ mod tests {
             assert_eq!(assisted.server, oracle_server);
             assert_eq!(assisted.group, oracle_group);
         }
+    }
+
+    #[test]
+    fn join_server_hands_off_groups_and_keeps_oracle() {
+        let mut c = cluster(6);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 128), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let total_rate_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        let groups_before = c.global_cover().len();
+        let mut joined = Vec::new();
+        for j in 0..4 {
+            let report = c.join_random_server().unwrap();
+            joined.push(report.joined);
+            assert_eq!(c.server_count(), 7 + j);
+            c.verify_consistency();
+            assert!(c.global_cover().is_partition());
+        }
+        // With 4 joins against 6 servers, at least one join landed inside
+        // a populated arc and received entries.
+        let received: usize = joined
+            .iter()
+            .map(|&id| c.server(id).unwrap().table().len())
+            .sum();
+        assert!(received > 0, "no join received any entries");
+        assert!(c.message_stats().joins == 4);
+        assert!(c.message_stats().handoff_messages > 0);
+        // Nothing was lost or duplicated in the handoffs.
+        assert_eq!(c.global_cover().len(), groups_before);
+        let total_rate_after: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!((total_rate_after - total_rate_before).abs() < 1e-6);
+        // Lookups agree with the oracle from any entry point.
+        for bits in (0..256u64).step_by(7) {
+            let placement = c.locate(key(bits)).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(placement.server, oracle_server);
+            assert_eq!(placement.group, oracle_group);
+            assert!(placement.probes <= 5);
+        }
+        // The system keeps adapting after the joins.
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn join_rejects_duplicate_id() {
+        let mut c = cluster(4);
+        let existing = c.server_ids()[0];
+        assert!(matches!(
+            c.join_server(existing),
+            Err(ClashError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn leave_server_drains_gracefully() {
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let total_rate_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        // Drain the busiest server — the hardest case.
+        let victim = c
+            .server_loads()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, _)| id)
+            .unwrap();
+        let entries_held = c.server(victim).unwrap().table().len();
+        let report = c.leave_server(victim).unwrap();
+        assert_eq!(report.entries_transferred, entries_held);
+        assert!(report.groups_transferred <= report.entries_transferred);
+        assert_eq!(c.server_count(), 7);
+        assert_eq!(c.message_stats().leaves, 1);
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+        // Unlike a crash, the drain loses no load and no tree structure.
+        let total_rate_after: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!((total_rate_after - total_rate_before).abs() < 1e-6);
+        for bits in (0..256u64).step_by(5) {
+            let placement = c.locate(key(bits)).unwrap();
+            assert_ne!(placement.server, victim);
+            let (oracle_server, _) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(placement.server, oracle_server);
+        }
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn drain_preserves_merge_ability_where_crash_cannot() {
+        // Build the same deep tree twice; drain the deepest holder in one
+        // cluster, crash it in the other. After cooling, the drained
+        // cluster consolidates back to the bootstrap roots (the interior
+        // entries survived the move); the crashed one is left with
+        // orphaned roots that can never merge above the break.
+        let build = || {
+            let mut c = ClashCluster::new(
+                ClashConfig {
+                    capacity: 60.0,
+                    ..ClashConfig::small_test()
+                },
+                10,
+                5,
+            )
+            .unwrap();
+            for i in 0..120u64 {
+                c.attach_source(i, key(0b0110_0000 | (i % 32)), 2.0).unwrap();
+            }
+            for _ in 0..4 {
+                c.run_load_check().unwrap();
+            }
+            c
+        };
+        let deepest_owner = |c: &ClashCluster| {
+            c.server_ids()
+                .into_iter()
+                .max_by_key(|&id| {
+                    c.server(id)
+                        .unwrap()
+                        .depth_stats()
+                        .map_or(0, |(_, _, max)| max)
+                })
+                .unwrap()
+        };
+        let cool = |c: &mut ClashCluster| {
+            for i in 0..120u64 {
+                c.detach_source(i).unwrap();
+            }
+            for _ in 0..16 {
+                c.run_load_check().unwrap();
+            }
+        };
+
+        let mut drained = build();
+        assert!(drained.depth_stats().unwrap().2 > 4);
+        drained.leave_server(deepest_owner(&drained)).unwrap();
+        cool(&mut drained);
+        assert_eq!(
+            drained.depth_stats().unwrap().2,
+            2,
+            "drained cluster must consolidate fully back to the roots"
+        );
+
+        let mut crashed = build();
+        crashed.fail_server(deepest_owner(&crashed)).unwrap();
+        cool(&mut crashed);
+        assert!(
+            crashed.depth_stats().unwrap().2 > 2,
+            "crash orphans subtrees into roots, blocking full consolidation"
+        );
+    }
+
+    #[test]
+    fn interleaved_joins_and_leaves_under_load() {
+        let mut c = cluster(4);
+        let mut next = 0u64;
+        for round in 0..6u32 {
+            for _ in 0..20 {
+                c.attach_source(next, key((next * 13) % 256), 1.5).unwrap();
+                next += 1;
+            }
+            c.run_load_check().unwrap();
+            if round % 2 == 0 {
+                c.join_random_server().unwrap();
+            } else if c.server_count() > 2 {
+                let ids = c.server_ids();
+                c.leave_server(ids[(round as usize) % ids.len()]).unwrap();
+            }
+            c.verify_consistency();
+            assert!(c.global_cover().is_partition());
+            for bits in (0..256u64).step_by(31) {
+                let placement = c.locate(key(bits)).unwrap();
+                let (oracle_server, _) = c.oracle_locate(key(bits)).unwrap();
+                assert_eq!(placement.server, oracle_server);
+            }
+        }
+        assert_eq!(c.source_count(), 120);
+        let total: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!((total - 120.0 * 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leave_last_server_rejected() {
+        let mut c = cluster(1);
+        let id = c.server_ids()[0];
+        assert!(matches!(
+            c.leave_server(id),
+            Err(ClashError::InvalidConfig { .. })
+        ));
+        let ghost = ServerId::new(0xDEAD, c.config().hash_space);
+        let mut c = cluster(2);
+        assert!(matches!(
+            c.leave_server(ghost),
+            Err(ClashError::UnknownServer { .. })
+        ));
+    }
+
+    #[test]
+    fn local_right_child_merge_conserves_load() {
+        // Single server: every split self-maps, so try_merge takes the
+        // local-right-child path (merge_group with GroupLoad::zero(), the
+        // real load read from the local entry). Total load must be
+        // conserved across those merges.
+        let mut c = cluster(1);
+        for i in 0..40 {
+            c.attach_source(i, key(i % 64), 3.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        assert!(c.message_stats().splits > 0);
+        // Cool *partially*: the survivors' rates must survive the merges.
+        for i in 0..30 {
+            c.detach_source(i).unwrap();
+        }
+        let total_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!(total_before > 0.0);
+        let merges_before = c.message_stats().merges;
+        let merge_msgs_before = c.message_stats().merge_messages;
+        for _ in 0..12 {
+            c.run_load_check().unwrap();
+        }
+        assert!(
+            c.message_stats().merges > merges_before,
+            "cooling must trigger local merges"
+        );
+        assert_eq!(
+            c.message_stats().merge_messages,
+            merge_msgs_before,
+            "both children are local: merges must be message-free"
+        );
+        let total_after: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!(
+            (total_after - total_before).abs() < 1e-9,
+            "local merge lost load: {total_before} -> {total_after}"
+        );
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn split_accounting_distinguishes_remote_and_self_mapped() {
+        // Single server: every placement self-maps, so no ACCEPT_KEYGROUP
+        // is ever sent; the corrected accounting must not charge any.
+        let mut c = cluster(1);
+        for i in 2..60 {
+            c.attach_source(i, key(i % 64), 3.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let s = c.message_stats();
+        assert!(s.splits > 0);
+        assert_eq!(s.accept_keygroups, 0, "self-mapped splits send nothing");
+        assert!(s.self_mapped_retries > 0, "retries must be counted apart");
+        assert_eq!(
+            s.protocol_control_messages(),
+            2 * s.probes + s.merge_messages + s.report_messages + s.redirect_messages,
+            "Figure-5 protocol accounting must not charge self-mapped splits"
+        );
+
+        // Multi-server: every split is remote or retried; the counters
+        // partition the splits (terminal self-maps are the remainder).
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let s = c.message_stats();
+        assert!(s.accept_keygroups > 0);
+        assert!(
+            s.accept_keygroups + s.self_mapped_retries <= s.splits,
+            "every split is a remote placement, a retry, or a terminal self-map"
+        );
+    }
+
+    #[test]
+    fn figure5_protocol_accounting_pinned() {
+        // Regression pin for the corrected Figure-5 accounting: the seed-1
+        // 8-server cluster under the standard hot workload. These counts
+        // changed when self-mapped retries stopped being charged as
+        // ACCEPT_KEYGROUPs; any further drift is a protocol change and
+        // must be justified.
+        let mut c = cluster(8);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let s = c.message_stats();
+        assert_eq!(
+            (s.splits, s.accept_keygroups, s.self_mapped_retries),
+            (PIN_SPLITS, PIN_ACCEPTS, PIN_RETRIES),
+            "split accounting drifted: {s:?}"
+        );
+        assert_eq!(
+            s.protocol_control_messages(),
+            PIN_PROTOCOL,
+            "protocol_control_messages drifted: {s:?}"
+        );
     }
 
     #[test]

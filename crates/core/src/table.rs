@@ -438,6 +438,71 @@ impl ServerTable {
         self.active_groups().map(|e| e.load)
     }
 
+    /// Removes and returns the full entry for `group` — the sending side
+    /// of a live-membership handoff. Unlike [`ServerTable::release_group`]
+    /// this works on interior (inactive) entries too and preserves every
+    /// field, so the logical split tree survives the move. The caller must
+    /// move the co-located left-child spine in the same batch (left
+    /// children share their parent's virtual key, hence its hash, hence
+    /// its `Map()` owner), or invariant 2 breaks.
+    pub fn extract_entry(&mut self, group: Prefix) -> Option<TableEntry> {
+        self.map.remove(group)
+    }
+
+    /// Installs an entry transferred from another server — the receiving
+    /// side of a membership handoff (`ACCEPT_KEYGROUP` carrying full
+    /// tree state). Parent / right-child pointers, activity and load are
+    /// preserved verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::WrongActivity`] if an entry for the group is
+    /// already present (a protocol invariant violation).
+    pub fn install_entry(&mut self, entry: TableEntry) -> Result<(), ClashError> {
+        if self.map.contains(entry.group) {
+            return Err(ClashError::WrongActivity {
+                group: entry.group,
+                expected_active: false,
+            });
+        }
+        self.map.insert(entry.group, entry);
+        Ok(())
+    }
+
+    /// Re-points parent and right-child pointers after key groups migrated
+    /// to new holders (server join/leave): `moved_to(g)` returns the new
+    /// holder of `g` if that group's entry moved. Returns
+    /// `(parents re-pointed, right children re-pointed)`.
+    pub fn repoint_moved_entries(
+        &mut self,
+        moved_to: impl Fn(Prefix) -> Option<ServerId>,
+    ) -> (usize, usize) {
+        let groups: Vec<Prefix> = self.map.prefixes().collect();
+        let mut parents = 0;
+        let mut rights = 0;
+        for group in groups {
+            let entry = self.map.get_mut(group).expect("snapshotted entry");
+            if let ParentRef::Server(cur) = entry.parent {
+                if let Some(new_holder) = group.parent().and_then(&moved_to) {
+                    if cur != new_holder {
+                        entry.parent = ParentRef::Server(new_holder);
+                        parents += 1;
+                    }
+                }
+            }
+            if let Some(cur) = entry.right_child {
+                let (_, right) = group.split().expect("split entries have children");
+                if let Some(new_holder) = moved_to(right) {
+                    if cur != new_holder {
+                        entry.right_child = Some(new_holder);
+                        rights += 1;
+                    }
+                }
+            }
+        }
+        (parents, rights)
+    }
+
     /// Repairs this table after a peer server failed: entries whose
     /// parent pointer named the dead server become roots (their parent
     /// entry died with it), and split entries whose right child lived on
@@ -821,6 +886,52 @@ mod tests {
         t.insert_root(p("01*")).unwrap();
         assert!(t.insert_root(p("01*")).is_err());
         assert!(t.accept_group(p("01*"), sid(2), GroupLoad::zero()).is_err());
+    }
+
+    #[test]
+    fn extract_install_roundtrip_preserves_tree_state() {
+        let mut src = figure2_table();
+        let mut dst = ServerTable::new(sid(99), w7());
+        // Move the whole 011* left spine (shared virtual key) wholesale.
+        for g in ["011*", "0110*", "01100*"] {
+            let entry = src.extract_entry(p(g)).unwrap();
+            dst.install_entry(entry).unwrap();
+        }
+        src.check_invariants().unwrap();
+        dst.check_invariants().unwrap();
+        // Pointers survived the move verbatim.
+        let row = dst.entry(p("011*")).unwrap();
+        assert_eq!(row.parent, ParentRef::Root);
+        assert_eq!(row.right_child, Some(sid(45)));
+        assert!(!row.active);
+        assert!(dst.entry(p("01100*")).unwrap().active);
+        // Duplicates are protocol violations.
+        let dup = dst.entry(p("011*")).unwrap().clone();
+        assert!(dst.install_entry(dup).is_err());
+        assert_eq!(src.extract_entry(p("011*")), None);
+    }
+
+    #[test]
+    fn repoint_moved_entries_updates_both_pointer_kinds() {
+        let mut t = figure2_table();
+        // Pretend 0111* (right child of 011*, held by s45) and 01011*'s
+        // parent entry (held by s22) both migrated to s77.
+        let new_holder = sid(77);
+        let (parents, rights) = t.repoint_moved_entries(|g| {
+            (g == p("0111*") || g == p("0101*")).then_some(new_holder)
+        });
+        assert_eq!(rights, 1);
+        assert_eq!(t.entry(p("011*")).unwrap().right_child, Some(new_holder));
+        // 01011*'s parent prefix is 0101*; its pointer moves to s77.
+        assert_eq!(parents, 1);
+        assert_eq!(
+            t.entry(p("01011*")).unwrap().parent,
+            ParentRef::Server(new_holder)
+        );
+        // Re-pointing to the current holder is a no-op.
+        let (parents, rights) =
+            t.repoint_moved_entries(|g| (g == p("0111*")).then_some(new_holder));
+        assert_eq!((parents, rights), (0, 0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use clash_core::cluster::ClashCluster;
 use clash_core::config::ClashConfig;
 use clash_core::messages::AcceptObjectResponse;
+use clash_core::ServerId;
 use clash_keyspace::key::Key;
 use proptest::prelude::*;
 
@@ -157,6 +158,80 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Live membership: lookups agree with the oracle while joins,
+    /// graceful leaves and crashes interleave with load checks and
+    /// workload bursts, and every membership event leaves the cluster
+    /// consistent (the maintenance protocol stabilizes inside each
+    /// membership call; load checks and spot lookups act as the live
+    /// traffic between events).
+    #[test]
+    fn membership_churn_keeps_lookups_oracle_consistent(
+        servers in 2usize..10,
+        seed in 0u64..500,
+        ops in prop::collection::vec((0u8..6, 0u64..u64::MAX), 1..14),
+    ) {
+        let config = ClashConfig::small_test();
+        let mut c = ClashCluster::new(config, servers, seed).unwrap();
+        let mut next_source = 0u64;
+        for &(op, arg) in &ops {
+            match op {
+                // Workload burst: heat a quadrant chosen by `arg`.
+                0 | 1 => {
+                    let quadrant = (arg % 4) << 6;
+                    for j in 0..12 {
+                        let bits = quadrant | ((arg.wrapping_add(j * 17)) % 64);
+                        c.attach_source(next_source, key(bits), 2.0).unwrap();
+                        next_source += 1;
+                    }
+                }
+                // Join a fresh server with an arbitrary ring id.
+                2 => {
+                    let id = ServerId::new(arg, config.hash_space);
+                    if c.net().node(id).is_none() {
+                        let report = c.join_server(id).unwrap();
+                        prop_assert_eq!(report.joined, id);
+                    }
+                }
+                // Graceful drain of an arbitrary server.
+                3 => {
+                    if c.server_count() > 1 {
+                        let ids = c.server_ids();
+                        let victim = ids[(arg as usize) % ids.len()];
+                        c.leave_server(victim).unwrap();
+                    }
+                }
+                // Crash an arbitrary server.
+                4 => {
+                    if c.server_count() > 1 {
+                        let ids = c.server_ids();
+                        let victim = ids[(arg as usize) % ids.len()];
+                        c.fail_server(victim).unwrap();
+                    }
+                }
+                // A load-check period elapses.
+                _ => {
+                    c.run_load_check().unwrap();
+                }
+            }
+            // Every event leaves the cluster fully consistent...
+            c.verify_consistency();
+            prop_assert!(c.global_cover().is_partition());
+            // ...and serving correct, bounded lookups.
+            for i in 0..8u64 {
+                let k = key((arg.wrapping_add(i * 37)) % 256);
+                let placement = c.locate(k).unwrap();
+                let (oracle_server, oracle_group) = c.oracle_locate(k).unwrap();
+                prop_assert_eq!(placement.server, oracle_server);
+                prop_assert_eq!(placement.group, oracle_group);
+                prop_assert!(placement.probes <= 5, "{} probes", placement.probes);
+            }
+        }
+        // No data-plane state was lost across all membership changes.
+        prop_assert_eq!(c.source_count() as u64, next_source);
+        let total: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        prop_assert!((total - next_source as f64 * 2.0).abs() < 1e-6);
     }
 
     /// Heating then cooling a region splits and then re-merges it; the

@@ -3,7 +3,9 @@
 //!
 //! Usage: `all_experiments [--scale F] [--out DIR]`
 
-use clash_sim::experiments::{ablation, demos, depth_conv, fig3, fig4, fig5, servers_saved};
+use clash_sim::experiments::{
+    ablation, churn, demos, depth_conv, fig3, fig4, fig5, servers_saved,
+};
 use clash_sim::report;
 
 fn main() {
@@ -38,6 +40,11 @@ fn main() {
     eprintln!("[{:6.1}s] running ablations...", t0.elapsed().as_secs_f64());
     let ab = ablation::run(scale.min(0.1)).expect("ablation failed");
     println!("{}", ablation::render(&ab));
+
+    eprintln!("[{:6.1}s] running churn at scale {scale}...", t0.elapsed().as_secs_f64());
+    let ch = churn::run(scale).expect("churn failed");
+    println!("{}", churn::render(&ch));
+    churn::write_csvs(&ch, &out_dir).expect("write churn csv");
 
     eprintln!("all experiments done in {:.1}s; CSVs in {out_dir}/", t0.elapsed().as_secs_f64());
 }

@@ -17,9 +17,12 @@
 use clash_core::cluster::{ClashCluster, MessageStats};
 use clash_core::config::ClashConfig;
 use clash_core::error::ClashError;
+use clash_core::ServerId;
+use clash_simkernel::dist::Exponential;
 use clash_simkernel::event::EventQueue;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::{SimDuration, SimTime};
+use clash_workload::churn::ChurnSpec;
 use clash_workload::scenario::ScenarioSpec;
 use clash_workload::skew::{Workload, WorkloadKind};
 use clash_workload::source::{QueryClientModel, SourceModel};
@@ -51,6 +54,11 @@ pub struct SampleRow {
     pub proto_msgs_per_sec_per_server: f64,
     /// All messages/sec/server including state transfer (case B).
     pub total_msgs_per_sec_per_server: f64,
+    /// Servers in the ring at sample time (varies only under churn).
+    pub server_count: usize,
+    /// Membership handoff messages/sec/server in the last window (0
+    /// without churn).
+    pub handoff_msgs_per_sec_per_server: f64,
 }
 
 /// Per-phase aggregates (the paper reports per-workload numbers).
@@ -93,6 +101,12 @@ pub struct RunResult {
     pub splits: u64,
     /// Merges performed over the run.
     pub merges: u64,
+    /// Servers that joined during the run (churn scenarios only).
+    pub joins: u64,
+    /// Servers that gracefully left during the run.
+    pub leaves: u64,
+    /// Servers that crashed during the run.
+    pub crashes: u64,
 }
 
 impl RunResult {
@@ -108,6 +122,13 @@ enum Ev {
     QueryDeath { query: u64 },
     LoadCheck,
     Sample,
+    /// A server joins. `sustained` joins re-arm the Poisson process;
+    /// flash-crowd ramp joins fire once.
+    Join { sustained: bool },
+    /// A server drains gracefully.
+    Leave,
+    /// A server crashes.
+    Crash,
 }
 
 /// Drives a [`ClashCluster`] through a [`ScenarioSpec`] under simulated
@@ -118,8 +139,12 @@ pub struct SimDriver {
     cluster: ClashCluster,
     queue: EventQueue<Ev>,
     rng: DetRng,
+    /// Dedicated substream for membership churn, so enabling churn never
+    /// perturbs the workload's own draws.
+    churn_rng: DetRng,
     workloads: [Workload; 3],
     next_query_id: u64,
+    crashes: u64,
     label: String,
 }
 
@@ -150,6 +175,7 @@ impl SimDriver {
     ) -> Result<Self, ClashError> {
         let cluster = ClashCluster::new(config, spec.servers, spec.seed)?;
         let rng = DetRng::new(spec.seed).substream("driver");
+        let churn_rng = DetRng::new(spec.seed).substream("churn");
         let workloads = [
             Workload::paper(WorkloadKind::A),
             Workload::paper(WorkloadKind::B),
@@ -161,8 +187,10 @@ impl SimDriver {
             cluster,
             queue: EventQueue::new(),
             rng,
+            churn_rng,
             workloads,
             next_query_id: 0,
+            crashes: 0,
             label,
         })
     }
@@ -190,7 +218,17 @@ impl SimDriver {
     ///
     /// Propagates protocol errors (which indicate bugs, not runtime
     /// conditions — the experiments treat any error as fatal).
-    pub fn run(mut self) -> Result<RunResult, ClashError> {
+    pub fn run(self) -> Result<RunResult, ClashError> {
+        self.run_with_cluster().map(|(result, _)| result)
+    }
+
+    /// [`SimDriver::run`], also returning the final cluster for post-run
+    /// inspection (oracle sweeps, consistency checks).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimDriver::run`].
+    pub fn run_with_cluster(mut self) -> Result<(RunResult, ClashCluster), ClashError> {
         let end = SimTime::ZERO + self.spec.total_duration();
         self.populate()?;
         // Periodic machinery.
@@ -198,10 +236,34 @@ impl SimDriver {
             .schedule(SimTime::ZERO + self.spec.load_check_period, Ev::LoadCheck);
         self.queue
             .schedule(SimTime::ZERO + self.spec.sample_period, Ev::Sample);
+        let churn = self.spec.churn;
+        if let Some(churn) = &churn {
+            if let Some(mean) = churn.mean_join_interval {
+                let at = SimTime::ZERO + self.churn_interval(mean);
+                self.queue.schedule(at, Ev::Join { sustained: true });
+            }
+            if let Some(mean) = churn.mean_leave_interval {
+                let at = SimTime::ZERO + self.churn_interval(mean);
+                self.queue.schedule(at, Ev::Leave);
+            }
+            if let Some(mean) = churn.mean_crash_interval {
+                let at = SimTime::ZERO + self.churn_interval(mean);
+                self.queue.schedule(at, Ev::Crash);
+            }
+            if let Some(flash) = churn.flash_crowd {
+                for i in 0..flash.joins {
+                    let offset =
+                        SimDuration::from_micros(flash.spacing.as_micros() * i as u64);
+                    self.queue
+                        .schedule(SimTime::ZERO + flash.at + offset, Ev::Join { sustained: false });
+                }
+            }
+        }
 
         let mut samples: Vec<SampleRow> = Vec::new();
         let mut last_msgs = self.cluster.message_stats();
         let mut last_sample_time = SimTime::ZERO;
+        let mut last_servers = self.cluster.server_count();
 
         while let Some((at, ev)) = self.queue.pop_before(end) {
             match ev {
@@ -226,21 +288,50 @@ impl SimDriver {
                 }
                 Ev::Sample => {
                     let window = at.duration_since(last_sample_time);
-                    samples.push(self.sample(at, window, &mut last_msgs));
+                    samples.push(self.sample(at, window, &mut last_msgs, &mut last_servers));
                     last_sample_time = at;
                     self.queue.schedule(at + self.spec.sample_period, Ev::Sample);
+                }
+                Ev::Join { sustained } => {
+                    let churn = churn.as_ref().expect("join events require churn");
+                    self.membership_join(churn)?;
+                    // Only the sustained Poisson process re-arms; ramp
+                    // joins are one-shot, so layering a flash crowd on a
+                    // sustained schedule never multiplies the join rate.
+                    if sustained {
+                        if let Some(mean) = churn.mean_join_interval {
+                            let next = self.churn_interval(mean);
+                            self.queue.schedule(at + next, Ev::Join { sustained: true });
+                        }
+                    }
+                }
+                Ev::Leave => {
+                    let churn = churn.as_ref().expect("leave events require churn");
+                    self.membership_leave(churn)?;
+                    if let Some(mean) = churn.mean_leave_interval {
+                        let next = self.churn_interval(mean);
+                        self.queue.schedule(at + next, Ev::Leave);
+                    }
+                }
+                Ev::Crash => {
+                    let churn = churn.as_ref().expect("crash events require churn");
+                    self.membership_crash(churn)?;
+                    if let Some(mean) = churn.mean_crash_interval {
+                        let next = self.churn_interval(mean);
+                        self.queue.schedule(at + next, Ev::Crash);
+                    }
                 }
             }
         }
         // Final sample at the end boundary.
         let window = end.saturating_duration_since(last_sample_time);
         if !window.is_zero() {
-            samples.push(self.sample(end, window, &mut last_msgs));
+            samples.push(self.sample(end, window, &mut last_msgs, &mut last_servers));
         }
 
         let phases = self.summarize(&samples);
         let stats = self.cluster.message_stats();
-        Ok(RunResult {
+        let result = RunResult {
             label: self.label,
             samples,
             phases,
@@ -248,7 +339,55 @@ impl SimDriver {
             events: self.queue.scheduled_total(),
             splits: stats.splits,
             merges: stats.merges,
-        })
+            joins: stats.joins,
+            leaves: stats.leaves,
+            crashes: self.crashes,
+        };
+        Ok((result, self.cluster))
+    }
+
+    /// Draws the next exponential inter-event time for a churn process.
+    fn churn_interval(&mut self, mean: SimDuration) -> SimDuration {
+        let secs = Exponential::with_mean(mean.as_secs_f64()).sample(&mut self.churn_rng);
+        SimDuration::from_secs_f64(secs.max(1.0))
+    }
+
+    /// Joins a fresh server (sustained churn or flash-crowd ramp), unless
+    /// the cluster is already at the schedule's ceiling.
+    fn membership_join(&mut self, churn: &ChurnSpec) -> Result<(), ClashError> {
+        if self.cluster.server_count() >= churn.max_servers {
+            return Ok(());
+        }
+        loop {
+            let id = ServerId::new(self.churn_rng.next_u64(), self.config.hash_space);
+            if self.cluster.net().node(id).is_none() {
+                self.cluster.join_server(id)?;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Gracefully drains a random server, respecting the schedule floor.
+    fn membership_leave(&mut self, churn: &ChurnSpec) -> Result<(), ClashError> {
+        if self.cluster.server_count() <= churn.min_servers.max(1) {
+            return Ok(());
+        }
+        let ids = self.cluster.server_ids();
+        let victim = ids[self.churn_rng.uniform_index(ids.len())];
+        self.cluster.leave_server(victim)?;
+        Ok(())
+    }
+
+    /// Crashes a random server, respecting the schedule floor.
+    fn membership_crash(&mut self, churn: &ChurnSpec) -> Result<(), ClashError> {
+        if self.cluster.server_count() <= churn.min_servers.max(1) {
+            return Ok(());
+        }
+        let ids = self.cluster.server_ids();
+        let victim = ids[self.churn_rng.uniform_index(ids.len())];
+        self.cluster.fail_server(victim)?;
+        self.crashes += 1;
+        Ok(())
     }
 
     /// Attaches the initial source and query populations at t = 0.
@@ -287,6 +426,7 @@ impl SimDriver {
         at: SimTime,
         window: SimDuration,
         last_msgs: &mut MessageStats,
+        last_servers: &mut usize,
     ) -> SampleRow {
         let capacity = self.config.capacity;
         let active_eps = capacity * 0.01;
@@ -304,11 +444,17 @@ impl SimDriver {
             self.cluster.depth_stats().unwrap_or((0, 0.0, 0));
         let msgs = self.cluster.message_stats();
         let secs = window.as_secs_f64().max(1e-9);
-        let servers = self.cluster.server_count() as f64;
+        let server_count = self.cluster.server_count();
+        // Under churn the fleet size varies mid-window; normalizing
+        // per-server rates by the window-average count keeps them honest
+        // across a ramp (exact when membership is fixed).
+        let servers = (server_count + *last_servers) as f64 / 2.0;
+        *last_servers = server_count;
         let ctrl = (msgs.control_messages() - last_msgs.control_messages()) as f64;
         let proto =
             (msgs.protocol_control_messages() - last_msgs.protocol_control_messages()) as f64;
         let total = (msgs.total_messages() - last_msgs.total_messages()) as f64;
+        let handoff = (msgs.handoff_messages - last_msgs.handoff_messages) as f64;
         *last_msgs = msgs;
         SampleRow {
             time_hours: at.as_hours_f64(),
@@ -328,6 +474,8 @@ impl SimDriver {
             ctrl_msgs_per_sec_per_server: ctrl / secs / servers,
             proto_msgs_per_sec_per_server: proto / secs / servers,
             total_msgs_per_sec_per_server: total / secs / servers,
+            server_count,
+            handoff_msgs_per_sec_per_server: handoff / secs / servers,
         }
     }
 
@@ -477,6 +625,110 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(r1.final_messages, r2.final_messages);
+    }
+
+    #[test]
+    fn membership_churn_runs_end_to_end() {
+        let churn = ChurnSpec::sustained(
+            SimDuration::from_mins(2),
+            SimDuration::from_mins(3),
+            8,
+            64,
+        )
+        .with_crashes(SimDuration::from_mins(6));
+        let spec = ScenarioSpec {
+            churn: Some(churn),
+            ..tiny_spec()
+        };
+        let (result, cluster) = SimDriver::new(tiny_config(), spec)
+            .unwrap()
+            .run_with_cluster()
+            .unwrap();
+        assert!(result.joins > 0, "sustained churn must join servers");
+        assert!(result.leaves > 0, "sustained churn must drain servers");
+        assert!(result.final_messages.handoff_messages > 0);
+        assert!(
+            result.samples.iter().any(|r| r.server_count != 16),
+            "membership changes must show in the samples"
+        );
+        cluster.verify_consistency();
+        assert!(cluster.global_cover().is_partition());
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let churn = ChurnSpec::sustained(
+            SimDuration::from_mins(2),
+            SimDuration::from_mins(3),
+            8,
+            64,
+        );
+        let spec = ScenarioSpec {
+            churn: Some(churn),
+            ..tiny_spec()
+        };
+        let r1 = SimDriver::new(tiny_config(), spec.clone()).unwrap().run().unwrap();
+        let r2 = SimDriver::new(tiny_config(), spec).unwrap().run().unwrap();
+        assert_eq!(r1.samples, r2.samples);
+        assert_eq!(r1.final_messages, r2.final_messages);
+        assert_eq!((r1.joins, r1.leaves), (r2.joins, r2.leaves));
+    }
+
+    #[test]
+    fn flash_crowd_ramps_capacity() {
+        let churn = ChurnSpec::flash_crowd(
+            SimDuration::from_mins(5),
+            6,
+            SimDuration::from_secs(30),
+        );
+        let spec = ScenarioSpec {
+            churn: Some(churn),
+            ..tiny_spec()
+        };
+        let (result, cluster) = SimDriver::new(tiny_config(), spec)
+            .unwrap()
+            .run_with_cluster()
+            .unwrap();
+        assert_eq!(result.joins, 6);
+        assert_eq!(result.leaves, 0);
+        assert_eq!(cluster.server_count(), 22);
+        let final_servers = result.samples.last().unwrap().server_count;
+        assert_eq!(final_servers, 22, "ramp must persist to the end");
+        cluster.verify_consistency();
+    }
+
+    #[test]
+    fn flash_crowd_on_sustained_schedule_does_not_multiply_joins() {
+        // Regression: ramp joins must be one-shot. Before the fix, every
+        // flash Ev::Join re-armed the sustained Poisson process, so a
+        // combined schedule spawned joins/leaves at (ramp+1)x the
+        // configured rate and pinned the fleet at max_servers.
+        let churn = ChurnSpec {
+            flash_crowd: Some(clash_workload::churn::FlashCrowd {
+                at: SimDuration::from_mins(2),
+                joins: 4,
+                spacing: SimDuration::from_secs(30),
+            }),
+            ..ChurnSpec::sustained(
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(60),
+                8,
+                64,
+            )
+        };
+        let spec = ScenarioSpec {
+            churn: Some(churn),
+            ..tiny_spec()
+        };
+        let result = SimDriver::new(tiny_config(), spec).unwrap().run().unwrap();
+        // 15 virtual minutes: 4 ramp joins + ~3 sustained joins. A
+        // multiplied process would run away toward max_servers (48 joins).
+        assert!(result.joins >= 4, "ramp joins must fire: {}", result.joins);
+        assert!(
+            result.joins <= 12,
+            "flash crowd multiplied the sustained join rate: {} joins",
+            result.joins
+        );
     }
 
     #[test]

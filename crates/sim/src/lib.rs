@@ -16,6 +16,7 @@
 //! | §5 claim (depth search < log₂ N) | `depth_convergence` | [`experiments::depth_conv`] |
 //! | §7 claim (~80% fewer servers) | `servers_saved` | [`experiments::servers_saved`] |
 //! | design-choice ablations | `ablation` | [`experiments::ablation`] |
+//! | live membership under churn | `churn` | [`experiments::churn`] |
 //!
 //! The central type is [`driver::SimDriver`]: it plays a
 //! [`clash_workload::scenario::ScenarioSpec`] against a

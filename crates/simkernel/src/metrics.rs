@@ -222,6 +222,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     summary: Summary,
 }
 
@@ -240,12 +241,21 @@ impl Histogram {
             buckets: vec![0; n],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             summary: Summary::new(),
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN observations are counted separately
+    /// ([`Histogram::nan_count`]) and touch neither the buckets nor the
+    /// summary: `NaN < lo` is false and `(NaN / width) as usize` is 0, so
+    /// a NaN would otherwise be silently filed into bucket 0 while
+    /// poisoning the summary's mean/min/max.
     pub fn observe(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         self.summary.observe(x);
         if x < self.lo {
             self.underflow += 1;
@@ -279,7 +289,14 @@ impl Histogram {
         self.overflow
     }
 
-    /// The streaming summary over all observations (including out-of-range).
+    /// NaN observations rejected (excluded from buckets and summary).
+    pub fn nan_count(&self) -> u64 {
+        self.nan
+    }
+
+    /// The streaming summary over all non-NaN observations (including
+    /// out-of-range ones; NaNs are only tallied by
+    /// [`Histogram::nan_count`]).
     pub fn summary(&self) -> &Summary {
         &self.summary
     }
@@ -424,6 +441,25 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.summary().count(), 7);
         assert!((h.bucket_lo(3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_nan_without_poisoning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.observe(2.5);
+        h.observe(f64::NAN);
+        h.observe(f64::NAN);
+        // NaN is counted apart — not filed into bucket 0.
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.bucket(0), 0);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        // The summary ignores NaN entirely instead of turning into NaN.
+        assert_eq!(h.summary().count(), 1);
+        assert!((h.summary().mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.summary().min(), Some(2.5));
+        assert_eq!(h.summary().max(), Some(2.5));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Membership-churn schedules for the live-membership experiments.
+//!
+//! The paper fixes server membership for its evaluation (§6.1); the
+//! churn experiment layers continuous arrivals and departures — the
+//! "utility" elasticity story — on top of a [`crate::scenario::ScenarioSpec`].
+//! A schedule combines sustained Poisson join/leave/crash processes with
+//! an optional *flash crowd*: a burst of joins ramping capacity up over a
+//! short window.
+
+use clash_simkernel::time::SimDuration;
+
+/// A burst of server joins ramping capacity up over a window (the
+/// flash-crowd case: a provider reacts to a demand spike by adding
+/// machines back-to-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashCrowd {
+    /// When the ramp starts, relative to scenario start.
+    pub at: SimDuration,
+    /// How many servers join during the ramp.
+    pub joins: usize,
+    /// Spacing between consecutive ramp joins.
+    pub spacing: SimDuration,
+}
+
+/// A membership-churn schedule layered over a scenario.
+///
+/// Intervals are means of exponential inter-event times, drawn from a
+/// dedicated RNG substream so enabling churn never perturbs the
+/// workload's own draws.
+///
+/// # Example
+///
+/// ```
+/// use clash_simkernel::time::SimDuration;
+/// use clash_workload::churn::ChurnSpec;
+///
+/// let churn = ChurnSpec::sustained(
+///     SimDuration::from_mins(10),
+///     SimDuration::from_mins(12),
+///     8,
+///     64,
+/// );
+/// assert!(churn.mean_join_interval.is_some());
+/// assert!(churn.flash_crowd.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Mean interval between server joins; `None` disables joins.
+    pub mean_join_interval: Option<SimDuration>,
+    /// Mean interval between graceful leaves; `None` disables leaves.
+    pub mean_leave_interval: Option<SimDuration>,
+    /// Mean interval between crash failures; `None` disables crashes.
+    pub mean_crash_interval: Option<SimDuration>,
+    /// Optional flash-crowd ramp on top of the sustained schedule.
+    pub flash_crowd: Option<FlashCrowd>,
+    /// Leaves and crashes never shrink the cluster below this.
+    pub min_servers: usize,
+    /// Joins never grow the cluster beyond this.
+    pub max_servers: usize,
+}
+
+impl ChurnSpec {
+    /// Sustained join/leave churn (no crashes, no flash crowd) bounded to
+    /// `[min_servers, max_servers]`.
+    pub fn sustained(
+        mean_join_interval: SimDuration,
+        mean_leave_interval: SimDuration,
+        min_servers: usize,
+        max_servers: usize,
+    ) -> Self {
+        ChurnSpec {
+            mean_join_interval: Some(mean_join_interval),
+            mean_leave_interval: Some(mean_leave_interval),
+            mean_crash_interval: None,
+            flash_crowd: None,
+            min_servers,
+            max_servers,
+        }
+    }
+
+    /// A pure flash-crowd ramp: no sustained churn, `joins` servers added
+    /// every `spacing` starting at `at`.
+    pub fn flash_crowd(at: SimDuration, joins: usize, spacing: SimDuration) -> Self {
+        ChurnSpec {
+            mean_join_interval: None,
+            mean_leave_interval: None,
+            mean_crash_interval: None,
+            flash_crowd: Some(FlashCrowd { at, joins, spacing }),
+            min_servers: 1,
+            max_servers: usize::MAX,
+        }
+    }
+
+    /// Adds a mean crash interval to the schedule.
+    pub fn with_crashes(self, mean_crash_interval: SimDuration) -> Self {
+        ChurnSpec {
+            mean_crash_interval: Some(mean_crash_interval),
+            ..self
+        }
+    }
+
+    /// True if the schedule can ever fire a membership event.
+    pub fn is_active(&self) -> bool {
+        self.mean_join_interval.is_some()
+            || self.mean_leave_interval.is_some()
+            || self.mean_crash_interval.is_some()
+            || self.flash_crowd.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_schedule_shape() {
+        let c = ChurnSpec::sustained(
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(12),
+            4,
+            32,
+        );
+        assert!(c.is_active());
+        assert_eq!(c.mean_join_interval, Some(SimDuration::from_mins(10)));
+        assert_eq!(c.mean_crash_interval, None);
+        assert_eq!((c.min_servers, c.max_servers), (4, 32));
+        let with_crashes = c.with_crashes(SimDuration::from_mins(45));
+        assert_eq!(
+            with_crashes.mean_crash_interval,
+            Some(SimDuration::from_mins(45))
+        );
+    }
+
+    #[test]
+    fn flash_crowd_schedule_shape() {
+        let c = ChurnSpec::flash_crowd(SimDuration::from_mins(20), 10, SimDuration::from_secs(30));
+        assert!(c.is_active());
+        let f = c.flash_crowd.unwrap();
+        assert_eq!(f.joins, 10);
+        assert_eq!(f.at, SimDuration::from_mins(20));
+        assert!(c.mean_join_interval.is_none());
+    }
+
+    #[test]
+    fn empty_schedule_is_inactive() {
+        let c = ChurnSpec {
+            mean_join_interval: None,
+            mean_leave_interval: None,
+            mean_crash_interval: None,
+            flash_crowd: None,
+            min_servers: 1,
+            max_servers: 1,
+        };
+        assert!(!c.is_active());
+    }
+}

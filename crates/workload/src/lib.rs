@@ -39,10 +39,12 @@
 //! assert!(workload.mass_of_base(spike) > 0.1);
 //! ```
 
+pub mod churn;
 pub mod scenario;
 pub mod skew;
 pub mod source;
 
+pub use churn::{ChurnSpec, FlashCrowd};
 pub use scenario::{Phase, ScenarioSpec};
 pub use skew::{Workload, WorkloadKind};
 pub use source::{SourceModel, QueryClientModel};

@@ -2,6 +2,7 @@
 
 use clash_simkernel::time::SimDuration;
 
+use crate::churn::ChurnSpec;
 use crate::skew::WorkloadKind;
 
 /// One phase of a scenario: a workload played for a duration.
@@ -51,6 +52,9 @@ pub struct ScenarioSpec {
     pub sample_period: SimDuration,
     /// Root random seed.
     pub seed: u64,
+    /// Optional membership churn layered over the run (paper: none —
+    /// membership is fixed during the evaluation).
+    pub churn: Option<ChurnSpec>,
 }
 
 impl ScenarioSpec {
@@ -80,6 +84,7 @@ impl ScenarioSpec {
             load_check_period: SimDuration::from_mins(5),
             sample_period: SimDuration::from_mins(5),
             seed: 0xC1A5_2004,
+            churn: None,
         }
     }
 
@@ -136,6 +141,14 @@ impl ScenarioSpec {
     pub fn with_stream_packets(&self, packets: f64) -> Self {
         ScenarioSpec {
             mean_stream_packets: packets,
+            ..self.clone()
+        }
+    }
+
+    /// A copy with a membership-churn schedule layered over the run.
+    pub fn with_churn(&self, churn: ChurnSpec) -> Self {
+        ScenarioSpec {
+            churn: Some(churn),
             ..self.clone()
         }
     }
@@ -209,5 +222,18 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn bad_scale_rejected() {
         ScenarioSpec::paper().scaled(0.0);
+    }
+
+    #[test]
+    fn churn_rides_through_scaling() {
+        let churn = ChurnSpec::sustained(
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(12),
+            4,
+            64,
+        );
+        let s = ScenarioSpec::paper().with_churn(churn).scaled(0.1);
+        assert_eq!(s.churn, Some(churn));
+        assert_eq!(ScenarioSpec::paper().churn, None);
     }
 }

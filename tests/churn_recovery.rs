@@ -1,7 +1,7 @@
-//! Churn stress: servers crash *while* the workload runs and the
+//! Churn stress: membership changes *while* the workload runs and the
 //! protocol keeps every invariant. (The paper fixes membership during
-//! its experiments; this exercises the recovery extension of DESIGN.md
-//! §7 under sustained load.)
+//! its experiments; this exercises the crash-recovery extension of
+//! DESIGN.md §7 and the live join/drain subsystem under sustained load.)
 
 use clash_core::cluster::ClashCluster;
 use clash_core::config::ClashConfig;
@@ -122,6 +122,72 @@ fn crash_during_deep_split_state() {
         "consolidation regressed: {depth_before} -> {depth_after}"
     );
     assert!(cluster.global_cover().is_partition());
+}
+
+#[test]
+fn elastic_capacity_under_sustained_load() {
+    // The utility-computing loop: scale out under pressure (joins), scale
+    // back in as demand fades (graceful drains), with crashes sprinkled
+    // in — all while the workload keeps moving keys.
+    let mut cluster = ClashCluster::new(ClashConfig::small_test(), 8, 99).unwrap();
+    let mut rng = DetRng::new(7);
+    let mut next_source = 0u64;
+
+    // Scale-out phase: heat the cluster, then add capacity live.
+    for _ in 0..80 {
+        let bits = 0b0100_0000 | rng.uniform_u64(64);
+        cluster.attach_source(next_source, key(bits), 2.0).unwrap();
+        next_source += 1;
+    }
+    cluster.run_load_check().unwrap();
+    for _ in 0..4 {
+        let report = cluster.join_random_server().unwrap();
+        assert!(report.stabilization_rounds > 0);
+        cluster.verify_consistency();
+    }
+    assert_eq!(cluster.server_count(), 12);
+    // One crash amid the growth; the fleet absorbs it.
+    let ids = cluster.server_ids();
+    cluster.fail_server(ids[rng.uniform_index(ids.len())]).unwrap();
+
+    // Keys keep churning across the membership changes.
+    for s in 0..next_source {
+        if rng.chance(0.3) {
+            cluster.move_source(s, key(rng.uniform_u64(256))).unwrap();
+        }
+    }
+    cluster.run_load_check().unwrap();
+
+    // Scale-in phase: demand fades, drain nodes back out.
+    for s in 0..60 {
+        cluster.detach_source(s).unwrap();
+    }
+    while cluster.server_count() > 6 {
+        let ids = cluster.server_ids();
+        let victim = ids[rng.uniform_index(ids.len())];
+        cluster.leave_server(victim).unwrap();
+        cluster.verify_consistency();
+        assert!(cluster.global_cover().is_partition());
+    }
+    for _ in 0..8 {
+        cluster.run_load_check().unwrap();
+    }
+
+    // Full service: every key resolves correctly and cheaply.
+    for bits in 0..=255u64 {
+        let k = key(bits);
+        let placement = cluster.locate(k).unwrap();
+        let (oracle_server, oracle_group) = cluster.oracle_locate(k).unwrap();
+        assert_eq!(placement.server, oracle_server);
+        assert_eq!(placement.group, oracle_group);
+        assert!(placement.probes <= 5);
+    }
+    // Drains and crashes lost no attached state.
+    assert_eq!(cluster.source_count() as u64, next_source - 60);
+    let stats = cluster.message_stats();
+    assert_eq!(stats.joins, 4);
+    assert!(stats.leaves >= 5);
+    assert!(stats.handoff_messages > 0);
 }
 
 #[test]
