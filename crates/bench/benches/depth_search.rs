@@ -20,9 +20,7 @@ fn bench_locate(c: &mut Criterion) {
     c.bench_function("locate: hinted depth search (deep tree)", |b| {
         b.iter(|| {
             j = (j + 1) % keys.len();
-            let placement = cluster
-                .locate_hinted(keys[j], Some(hint))
-                .expect("locate");
+            let placement = cluster.locate_hinted(keys[j], Some(hint)).expect("locate");
             hint = placement.depth;
             black_box(placement)
         })

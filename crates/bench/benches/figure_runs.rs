@@ -66,8 +66,8 @@ fn bench_fig5_cell(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("workload B, heavy churn", |b| {
         b.iter(|| {
-            let driver = SimDriver::new(mini_config(true), mini_spec(WorkloadKind::B, 50.0))
-                .expect("valid");
+            let driver =
+                SimDriver::new(mini_config(true), mini_spec(WorkloadKind::B, 50.0)).expect("valid");
             black_box(driver.run().expect("run"))
         })
     });

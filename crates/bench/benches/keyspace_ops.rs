@@ -36,9 +36,19 @@ fn bench_common_prefix(c: &mut Criterion) {
     let a = Key::from_bits_truncated(0xA5_5A7B, KeyWidth::PAPER);
     let b2 = Key::from_bits_truncated(0xA5_5F00, KeyWidth::PAPER);
     c.bench_function("common prefix length of two keys", |b| {
-        b.iter(|| black_box(a).common_prefix_len(black_box(b2)).expect("same width"))
+        b.iter(|| {
+            black_box(a)
+                .common_prefix_len(black_box(b2))
+                .expect("same width")
+        })
     });
 }
 
-criterion_group!(benches, bench_shape, bench_split, bench_hash, bench_common_prefix);
+criterion_group!(
+    benches,
+    bench_shape,
+    bench_split,
+    bench_hash,
+    bench_common_prefix
+);
 criterion_main!(benches);

@@ -33,8 +33,7 @@ fn bench_load_check_cycle(c: &mut Criterion) {
                 };
                 let mut cluster = ClashCluster::new(config, 16, 3).expect("valid");
                 for i in 0..64u64 {
-                    let key =
-                        Key::from_bits_truncated(0b0100_0000 | (i % 64), config.key_width);
+                    let key = Key::from_bits_truncated(0b0100_0000 | (i % 64), config.key_width);
                     cluster.attach_source(i, key, 2.0).expect("attach");
                 }
                 cluster

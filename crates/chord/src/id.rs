@@ -95,7 +95,12 @@ impl ChordId {
 
 impl fmt::Display for ChordId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:0width$x}", self.value, width = (self.space.bits() as usize).div_ceil(4))
+        write!(
+            f,
+            "{:0width$x}",
+            self.value,
+            width = (self.space.bits() as usize).div_ceil(4)
+        )
     }
 }
 

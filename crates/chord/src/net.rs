@@ -185,8 +185,7 @@ impl SimNet {
         let r = self.succ_list_len.min(ids.len());
         // Precompute ring order once.
         for (pos, &id) in ids.iter().enumerate() {
-            let succ_list: Vec<ChordId> =
-                (1..=r).map(|k| ids[(pos + k) % ids.len()]).collect();
+            let succ_list: Vec<ChordId> = (1..=r).map(|k| ids[(pos + k) % ids.len()]).collect();
             let succ_list = if succ_list.is_empty() {
                 vec![id]
             } else {
@@ -196,15 +195,10 @@ impl SimNet {
             let mut fingers = Vec::with_capacity(m);
             for k in 0..m {
                 let target = id.add_power_of_two(k as u32);
-                let owner = self
-                    .owner_of(target.value())
-                    .expect("ring has alive nodes");
+                let owner = self.owner_of(target.value()).expect("ring has alive nodes");
                 fingers.push(owner);
             }
-            let node = self
-                .nodes
-                .get_mut(&id.value())
-                .expect("id from node_ids");
+            let node = self.nodes.get_mut(&id.value()).expect("id from node_ids");
             node.set_successor_list(succ_list);
             node.set_predecessor(if ids.len() > 1 { Some(pred) } else { None });
             for (k, f) in fingers.into_iter().enumerate() {
@@ -223,6 +217,33 @@ impl SimNet {
     /// into a cycle (only possible when maintenance has never run after
     /// severe membership changes).
     pub fn route(&self, start: ChordId, h: u64) -> LookupResult {
+        self.route_visit(start, h, |_, _| ())
+    }
+
+    /// [`SimNet::route`], additionally returning the per-hop path as
+    /// `(from, to)` pairs — one pair per inter-node message — so callers
+    /// can charge each hop its own link cost (latency, loss) through a
+    /// transport. `path.len()` always equals the returned hop count.
+    pub fn route_with_path(
+        &self,
+        start: ChordId,
+        h: u64,
+    ) -> (LookupResult, Vec<(ChordId, ChordId)>) {
+        let mut path = Vec::new();
+        let result = self.route_visit(start, h, |from, to| path.push((from, to)));
+        debug_assert_eq!(path.len(), result.hops as usize);
+        (result, path)
+    }
+
+    /// The routing engine: `visit(from, to)` fires once per inter-node
+    /// hop, in order. Monomorphized with a no-op visitor this is exactly
+    /// the old allocation-free `route`.
+    fn route_visit<F: FnMut(ChordId, ChordId)>(
+        &self,
+        start: ChordId,
+        h: u64,
+        mut visit: F,
+    ) -> LookupResult {
         assert!(self.is_alive(start), "lookup must start at an alive node");
         let target = ChordId::new(h, self.space);
         let mut current = start;
@@ -245,6 +266,7 @@ impl SimNet {
                 };
             }
             if target.in_half_open_interval(current, succ) {
+                visit(current, succ);
                 return LookupResult {
                     owner: succ,
                     hops: hops + 1,
@@ -252,6 +274,7 @@ impl SimNet {
             }
             let next = node.closest_preceding(target, |c| self.is_alive(c));
             let next = if next == current { succ } else { next };
+            visit(current, next);
             current = next;
             hops += 1;
             assert!(
@@ -273,10 +296,26 @@ impl SimNet {
     /// CLASH builds on (§4 of the paper).
     pub fn find_successor(&mut self, start: ChordId, h: u64) -> LookupResult {
         let result = self.route(start, h);
+        self.record_lookup(result);
+        result
+    }
+
+    /// [`SimNet::find_successor`] returning the per-hop path (see
+    /// [`SimNet::route_with_path`]). Statistics are recorded identically.
+    pub fn find_successor_path(
+        &mut self,
+        start: ChordId,
+        h: u64,
+    ) -> (LookupResult, Vec<(ChordId, ChordId)>) {
+        let (result, path) = self.route_with_path(start, h);
+        self.record_lookup(result);
+        (result, path)
+    }
+
+    fn record_lookup(&mut self, result: LookupResult) {
         self.stats.lookups += 1;
         self.stats.total_hops += u64::from(result.hops);
         self.stats.max_hops = self.stats.max_hops.max(result.hops);
-        result
     }
 
     /// Lookup statistics accumulated by [`SimNet::find_successor`].
@@ -425,11 +464,7 @@ impl SimNet {
         }
         // Drop a dead predecessor.
         if let Some(p) = node.predecessor() {
-            if !self
-                .nodes
-                .get(&p.value())
-                .is_some_and(|n| n.is_alive())
-            {
+            if !self.nodes.get(&p.value()).is_some_and(|n| n.is_alive()) {
                 self.nodes
                     .get_mut(&id.value())
                     .expect("alive node")
@@ -819,6 +854,39 @@ mod tests {
             net2.stabilize_until_converged(32);
         }
         assert!(net2.is_fully_stabilized());
+    }
+
+    #[test]
+    fn route_with_path_matches_route() {
+        let net = stable_net(128, 25);
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(26);
+        for _ in 0..500 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            let plain = net.route(start, h);
+            let (routed, path) = net.route_with_path(start, h);
+            assert_eq!(plain, routed);
+            assert_eq!(path.len(), routed.hops as usize);
+            // The path is a connected chain from start to the owner.
+            let mut at = start;
+            for &(from, to) in &path {
+                assert_eq!(from, at, "hops must chain");
+                assert!(net.is_alive(to), "hops only touch alive nodes");
+                at = to;
+            }
+            assert_eq!(at, routed.owner, "path ends at the owner");
+        }
+    }
+
+    #[test]
+    fn find_successor_path_records_stats() {
+        let mut net = stable_net(32, 27);
+        let start = net.node_ids()[0];
+        let (r, path) = net.find_successor_path(start, 0x1234);
+        assert_eq!(net.stats().lookups, 1);
+        assert_eq!(net.stats().total_hops, u64::from(r.hops));
+        assert_eq!(path.len(), r.hops as usize);
     }
 
     #[test]

@@ -47,12 +47,7 @@ impl VirtualRing {
     /// # Panics
     ///
     /// Panics if `physical == 0` or `vnodes_per == 0`.
-    pub fn new(
-        space: HashSpace,
-        physical: usize,
-        vnodes_per: usize,
-        rng: &mut DetRng,
-    ) -> Self {
+    pub fn new(space: HashSpace, physical: usize, vnodes_per: usize, rng: &mut DetRng) -> Self {
         assert!(physical > 0, "need at least one physical server");
         assert!(vnodes_per > 0, "need at least one virtual node each");
         let mut net = SimNet::new(space);
@@ -97,9 +92,7 @@ impl VirtualRing {
 
     /// Ground-truth physical owner of hash `h`.
     pub fn physical_owner_of(&self, h: u64) -> Option<PhysicalId> {
-        self.net
-            .owner_of(h)
-            .and_then(|virt| self.physical_of(virt))
+        self.net.owner_of(h).and_then(|virt| self.physical_of(virt))
     }
 
     /// Routed lookup returning the physical owner and hop count.

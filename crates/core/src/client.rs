@@ -202,7 +202,13 @@ mod tests {
         let out = s
             .record(12, AcceptObjectResponse::OkCorrected { depth: 7 })
             .unwrap();
-        assert_eq!(out, SearchOutcome::Found { depth: 7, probes: 1 });
+        assert_eq!(
+            out,
+            SearchOutcome::Found {
+                depth: 7,
+                probes: 1
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! 1. **Protocol harness** — it moves `ACCEPT_OBJECT`, `ACCEPT_KEYGROUP`,
 //!    `RELEASE_KEYGROUP` and `LOAD_REPORT` messages between
 //!    [`ClashServer`]s, routing through the simulated Chord ring and
-//!    counting every message and hop ([`MessageStats`]).
+//!    counting every message and hop ([`MessageStats`]). Every message is
+//!    charged virtual time through a [`clash_transport::Transport`]
+//!    (hop-by-hop for routed probes) into [`LatencyMetrics`]; a lossy or
+//!    partitioned transport makes deliveries time out or fail, which the
+//!    protocol paths survive by deferring work (see the per-method docs).
 //! 2. **Data plane** — it tracks which streaming sources and continuous
 //!    queries currently sit in which key group (the per-group *ledgers*),
 //!    so splits and merges repartition load exactly.
@@ -20,16 +24,20 @@
 
 use std::collections::BTreeMap;
 
+use clash_chord::id::ChordId;
 use clash_chord::net::SimNet;
 use clash_keyspace::cover::{PrefixCover, PrefixMap};
 use clash_keyspace::hash::{KeyHasher, SplitMixHasher};
 use clash_keyspace::key::Key;
 use clash_keyspace::prefix::Prefix;
 use clash_simkernel::rng::DetRng;
+use clash_simkernel::time::SimDuration;
+use clash_transport::{Delivery, InstantTransport, MessageClass, Transport, TransportStats};
 
 use crate::client::{DepthSearch, SearchOutcome};
 use crate::config::ClashConfig;
 use crate::error::ClashError;
+use crate::latency::{ms, LatencyMetrics};
 use crate::load::{GroupLoad, LoadLevel};
 use crate::messages::ReleaseResponse;
 use crate::server::ClashServer;
@@ -99,7 +107,9 @@ impl MessageStats {
     /// depth probe and `ACCEPT_KEYGROUP` placement is charged its full
     /// O(log S) DHT routing cost.
     pub fn control_messages(&self) -> u64 {
-        self.probe_messages + self.split_messages + self.merge_messages
+        self.probe_messages
+            + self.split_messages
+            + self.merge_messages
             + self.report_messages
             + self.redirect_messages
             + self.handoff_messages
@@ -113,7 +123,9 @@ impl MessageStats {
     /// `ACCEPT_KEYGROUP` at all, so they are deliberately *not* charged
     /// here (they used to be, via `splits`, overcounting Figure 5).
     pub fn protocol_control_messages(&self) -> u64 {
-        2 * self.probes + self.accept_keygroups + self.merge_messages
+        2 * self.probes
+            + self.accept_keygroups
+            + self.merge_messages
             + self.report_messages
             + self.redirect_messages
             + self.handoff_messages
@@ -267,6 +279,12 @@ pub struct ClashCluster {
     queries: BTreeMap<u64, QueryRec>,
     msgs: MessageStats,
     rng: DetRng,
+    /// The message transport: every protocol message is charged virtual
+    /// time (and may be refused by a partition) through this. The default
+    /// [`InstantTransport`] reproduces direct-call semantics exactly.
+    transport: Box<dyn Transport>,
+    /// End-to-end per-operation latency recorders.
+    latency: LatencyMetrics,
     /// Safety cap on splits per server per load check.
     max_splits_per_check: u32,
     /// Safety cap on merges per server per load check.
@@ -283,6 +301,25 @@ impl ClashCluster {
     /// Returns [`ClashError::InvalidConfig`] for inconsistent
     /// configurations.
     pub fn new(config: ClashConfig, n_servers: usize, seed: u64) -> Result<Self, ClashError> {
+        Self::with_transport(config, n_servers, seed, Box::new(InstantTransport::new()))
+    }
+
+    /// [`ClashCluster::new`] over an explicit message transport (latency,
+    /// loss and partition models live in `clash-transport`). The transport
+    /// must derive its randomness from its own seed: the cluster never
+    /// shares its protocol RNG with the transport, so swapping transports
+    /// never perturbs protocol-level draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn with_transport(
+        config: ClashConfig,
+        n_servers: usize,
+        seed: u64,
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, ClashError> {
         config.validate()?;
         if n_servers == 0 {
             return Err(ClashError::InvalidConfig {
@@ -308,6 +345,8 @@ impl ClashCluster {
             queries: BTreeMap::new(),
             msgs: MessageStats::default(),
             rng: root_rng.substream("cluster"),
+            transport,
+            latency: LatencyMetrics::new(),
             max_splits_per_check: 64,
             max_merges_per_check: 64,
         };
@@ -361,6 +400,91 @@ impl ClashCluster {
     pub fn reset_message_stats(&mut self) {
         self.msgs = MessageStats::default();
         self.net.reset_stats();
+        self.transport.reset_stats();
+    }
+
+    /// The transport's delivery counters (retransmissions, unreachable
+    /// sends, mean latency).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// The per-operation latency histograms (virtual milliseconds).
+    pub fn latency_metrics(&self) -> &LatencyMetrics {
+        &self.latency
+    }
+
+    /// True when the cluster runs over the zero-latency instant
+    /// transport — every latency observation is identically zero, so
+    /// callers can skip percentile bookkeeping entirely.
+    pub fn transport_is_instant(&self) -> bool {
+        self.transport.is_instant()
+    }
+
+    /// Severs the network into islands of servers: protocol messages
+    /// between islands fail with [`ClashError::NetworkUnreachable`] (or
+    /// are silently lost, for soft-state reports) until
+    /// [`ClashCluster::heal_partition`]. No-op on the instant transport.
+    pub fn partition_network(&mut self, islands: &[Vec<ServerId>]) {
+        let raw: Vec<Vec<u64>> = islands
+            .iter()
+            .map(|island| island.iter().map(|id| id.value()).collect())
+            .collect();
+        self.transport.partition(&raw);
+    }
+
+    /// Heals any active network partition.
+    pub fn heal_partition(&mut self) {
+        self.transport.heal();
+    }
+
+    /// Charges one routed probe through the transport: every routing hop
+    /// of `path` plus the response from `owner` back to `start`. Used by
+    /// both locate paths so their latency accounting can never diverge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::NetworkUnreachable`] on the first severed
+    /// hop (any latency already accumulated into `op_latency` stands —
+    /// the time was spent before the route hit the cut).
+    fn charge_probe_route(
+        &mut self,
+        start: ChordId,
+        owner: ChordId,
+        path: Vec<(ChordId, ChordId)>,
+        op_latency: &mut SimDuration,
+    ) -> Result<(), ClashError> {
+        for (from, to) in path {
+            if !self.transport_send(from, to, MessageClass::Probe, op_latency) {
+                return Err(ClashError::NetworkUnreachable { from, to });
+            }
+        }
+        if !self.transport_send(owner, start, MessageClass::ProbeResponse, op_latency) {
+            return Err(ClashError::NetworkUnreachable {
+                from: owner,
+                to: start,
+            });
+        }
+        Ok(())
+    }
+
+    /// Sends one protocol message through the transport, accumulating the
+    /// delivered latency into `total`. Returns false (leaving `total`
+    /// untouched) when the destination is unreachable.
+    fn transport_send(
+        &mut self,
+        from: ChordId,
+        to: ChordId,
+        class: MessageClass,
+        total: &mut SimDuration,
+    ) -> bool {
+        match self.transport.send(from.value(), to.value(), class) {
+            Delivery::Delivered { latency, .. } => {
+                *total += latency;
+                true
+            }
+            Delivery::Unreachable { .. } => false,
+        }
     }
 
     /// All server identifiers.
@@ -398,9 +522,7 @@ impl ClashCluster {
     pub fn global_cover(&self) -> PrefixCover {
         let mut cover = PrefixCover::new(self.config.key_width);
         for p in self.global_index.prefixes() {
-            cover
-                .insert(p)
-                .expect("global index must be prefix-free");
+            cover.insert(p).expect("global index must be prefix-free");
         }
         cover
     }
@@ -448,11 +570,7 @@ impl ClashCluster {
     /// # Errors
     ///
     /// See [`ClashCluster::locate`].
-    pub fn locate_hinted(
-        &mut self,
-        key: Key,
-        hint: Option<u32>,
-    ) -> Result<Placement, ClashError> {
+    pub fn locate_hinted(&mut self, key: Key, hint: Option<u32>) -> Result<Placement, ClashError> {
         if !self.config.splitting_enabled {
             return self.locate_fixed_depth(key);
         }
@@ -461,12 +579,14 @@ impl ClashCluster {
             Some(h) => DepthSearch::with_hint(width, h),
             None => DepthSearch::new(width),
         };
+        let mut op_latency = SimDuration::ZERO;
         loop {
             let guess = search.next_guess();
             let group_guess = Prefix::of_key(key, guess);
             let h = self.hasher.hash_key(group_guess.virtual_key());
             let start = self.net.random_alive(&mut self.rng);
-            let lookup = self.net.find_successor(start, h);
+            let (lookup, path) = self.net.find_successor_path(start, h);
+            self.charge_probe_route(start, lookup.owner, path, &mut op_latency)?;
             self.msgs.probes += 1;
             self.msgs.probe_messages += u64::from(lookup.hops) + 1;
             let responder = self
@@ -477,6 +597,7 @@ impl ClashCluster {
             match search.record(guess, response)? {
                 SearchOutcome::Found { depth, .. } => {
                     self.msgs.locates += 1;
+                    self.latency.locate.observe(ms(op_latency));
                     return Ok(Placement {
                         server: lookup.owner,
                         group: Prefix::of_key(key, depth),
@@ -497,10 +618,13 @@ impl ClashCluster {
         let group = Prefix::of_key(key, depth);
         let h = self.hasher.hash_key(group.virtual_key());
         let start = self.net.random_alive(&mut self.rng);
-        let lookup = self.net.find_successor(start, h);
+        let (lookup, path) = self.net.find_successor_path(start, h);
+        let mut op_latency = SimDuration::ZERO;
+        self.charge_probe_route(start, lookup.owner, path, &mut op_latency)?;
         self.msgs.probes += 1;
         self.msgs.probe_messages += u64::from(lookup.hops) + 1;
         self.msgs.locates += 1;
+        self.latency.locate.observe(ms(op_latency));
         let server = self
             .servers
             .get_mut(&lookup.owner.value())
@@ -787,17 +911,24 @@ impl ClashCluster {
 
     fn deliver_load_reports(&mut self) {
         let ids: Vec<u64> = self.servers.keys().copied().collect();
-        let mut deliveries: Vec<(ServerId, Prefix, GroupLoad, bool, bool)> = Vec::new();
+        let mut deliveries: Vec<(ServerId, ServerId, Prefix, GroupLoad, bool, bool)> = Vec::new();
         for &sid_value in &ids {
             let server = &self.servers[&sid_value];
             let own_id = server.id();
             for (dest, group, load, is_leaf) in server.pending_reports() {
-                deliveries.push((dest, group, load, is_leaf, dest != own_id));
+                deliveries.push((own_id, dest, group, load, is_leaf, dest != own_id));
             }
         }
-        for (dest, group, load, is_leaf, remote) in deliveries {
+        for (src, dest, group, load, is_leaf, remote) in deliveries {
             if remote {
+                let mut latency = SimDuration::ZERO;
+                if !self.transport_send(src, dest, MessageClass::LoadReport, &mut latency) {
+                    // Reports are soft state: one lost to a partition is
+                    // simply re-sent (and re-counted) next check period.
+                    continue;
+                }
                 self.msgs.report_messages += 1;
+                self.latency.report.observe(ms(latency));
             }
             if let Some(server) = self.servers.get_mut(&dest.value()) {
                 server.handle_load_report(group, load, is_leaf);
@@ -807,20 +938,76 @@ impl ClashCluster {
 
     /// Splits the hottest group of `sid_value`, placing the right child via
     /// the DHT with the self-map retry of §5. Returns `None` when the
-    /// server has nothing left to split.
+    /// server has nothing left to split, or when a network partition makes
+    /// the *first* placement undeliverable (the split is abandoned before
+    /// any state changes and retried at a later load check). If earlier
+    /// self-mapped retry iterations already committed their (purely local)
+    /// splits when the cut is hit, the operation completes as a local
+    /// split instead — the right child stays on this server, exactly as a
+    /// terminal self-map would leave it — so every committed split is
+    /// reported.
     fn try_split(&mut self, sid_value: u64) -> Result<Option<SplitRecord>, ClashError> {
         let server_id = self.servers[&sid_value].id();
         let Some(hot) = self.servers[&sid_value].hottest_splittable() else {
             return Ok(None);
         };
         let mut group = hot;
+        let mut op_latency = SimDuration::ZERO;
+        let mut committed_splits = false;
+        // Finishes the operation after self-mapped iterations committed but
+        // a later placement crossed the partition: the last right child is
+        // already active locally, which is a valid terminal state.
+        let finish_local = |cluster: &mut Self, lat: SimDuration| {
+            cluster.latency.split.observe(ms(lat));
+            Ok(Some(SplitRecord {
+                server: server_id,
+                group: hot,
+                right_child_server: server_id,
+            }))
+        };
         loop {
+            // Resolve the right child's placement via the DHT *first* (§5)
+            // and require every hop plus the eventual ACCEPT_KEYGROUP to be
+            // deliverable before this iteration mutates any state. An
+            // aborted placement still counts as a lookup in `NetStats` —
+            // the routing hops up to the cut were genuinely attempted.
+            let (_, right_prefix) = group.split()?;
+            let h = self.hasher.hash_key(right_prefix.virtual_key());
+            let (lookup, path) = self.net.find_successor_path(server_id, h);
+            for (from, to) in path {
+                if !self.transport_send(from, to, MessageClass::Probe, &mut op_latency) {
+                    return if committed_splits {
+                        finish_local(self, op_latency)
+                    } else {
+                        Ok(None)
+                    };
+                }
+            }
+            let target = lookup.owner;
+            let self_mapped = target == server_id;
+            if !self_mapped
+                && !self.transport_send(
+                    server_id,
+                    target,
+                    MessageClass::AcceptKeygroup,
+                    &mut op_latency,
+                )
+            {
+                return if committed_splits {
+                    finish_local(self, op_latency)
+                } else {
+                    Ok(None)
+                };
+            }
+
             let (left, right) = self
                 .servers
                 .get_mut(&sid_value)
                 .expect("server exists")
                 .split_group(group)?;
+            debug_assert_eq!(right, right_prefix);
             self.msgs.splits += 1;
+            self.msgs.split_messages += u64::from(lookup.hops);
             let (left_ledger, right_ledger) = self.partition_ledger(group, left, right);
             let left_load = left_ledger.load();
             let right_load = right_ledger.load();
@@ -834,13 +1021,6 @@ impl ClashCluster {
                 .get_mut(&sid_value)
                 .expect("server exists")
                 .set_group_load(left, left_load)?;
-
-            // Place the right child via the DHT (§5): routing hops count.
-            let h = self.hasher.hash_key(right.virtual_key());
-            let lookup = self.net.find_successor(server_id, h);
-            self.msgs.split_messages += u64::from(lookup.hops);
-            let target = lookup.owner;
-            let self_mapped = target == server_id;
             self.servers
                 .get_mut(&sid_value)
                 .expect("server exists")
@@ -857,6 +1037,7 @@ impl ClashCluster {
                     .expect("server exists")
                     .handle_accept_keygroup(right, server_id, right_load)?;
                 self.global_index.insert(right, server_id);
+                committed_splits = true;
                 group = right;
                 continue;
             }
@@ -879,6 +1060,7 @@ impl ClashCluster {
                     .handle_accept_keygroup(right, server_id, right_load)?;
                 self.global_index.insert(right, target);
             }
+            self.latency.split.observe(ms(op_latency));
             return Ok(Some(SplitRecord {
                 server: server_id,
                 group: hot,
@@ -938,6 +1120,24 @@ impl ClashCluster {
                 .expect("server exists")
                 .merge_group(parent, GroupLoad::zero())?;
         } else {
+            // The RELEASE_KEYGROUP round trip must be deliverable before
+            // anything mutates; a partitioned child simply defers the
+            // merge to a post-heal load check.
+            let mut op_latency = SimDuration::ZERO;
+            if !self.transport_send(
+                server_id,
+                right_holder,
+                MessageClass::ReleaseKeygroup,
+                &mut op_latency,
+            ) || !self.transport_send(
+                right_holder,
+                server_id,
+                MessageClass::ReleaseKeygroup,
+                &mut op_latency,
+            ) {
+                return Ok(MergeOutcome::NoCandidate);
+            }
+            self.latency.merge.observe(ms(op_latency));
             self.msgs.merge_messages += 2; // RELEASE_KEYGROUP + response
             let response = self
                 .servers
@@ -949,10 +1149,8 @@ impl ClashCluster {
             match response {
                 ReleaseResponse::Released { load } => {
                     let right_ledger = self.ledgers.get(&right);
-                    let right_queries =
-                        right_ledger.map_or(0, |l| l.queries.len() as u64);
-                    let right_sources =
-                        right_ledger.map_or(0, |l| l.sources.len() as u64);
+                    let right_queries = right_ledger.map_or(0, |l| l.queries.len() as u64);
+                    let right_sources = right_ledger.map_or(0, |l| l.sources.len() as u64);
                     self.msgs.state_transfer_messages += right_queries;
                     self.msgs.redirect_messages += right_sources;
                     self.servers
@@ -983,22 +1181,14 @@ impl ClashCluster {
             rate: left_ledger.rate + right_ledger.rate,
             ..GroupLedger::default()
         };
-        for sid in left_ledger
-            .sources
-            .into_iter()
-            .chain(right_ledger.sources)
-        {
+        for sid in left_ledger.sources.into_iter().chain(right_ledger.sources) {
             self.sources
                 .get_mut(&sid)
                 .expect("ledger member exists")
                 .group = parent;
             merged.sources.push(sid);
         }
-        for qid in left_ledger
-            .queries
-            .into_iter()
-            .chain(right_ledger.queries)
-        {
+        for qid in left_ledger.queries.into_iter().chain(right_ledger.queries) {
             self.queries
                 .get_mut(&qid)
                 .expect("ledger member exists")
@@ -1082,7 +1272,7 @@ impl ClashCluster {
                 to_move.push(entry);
             }
         }
-        let tally = self.migrate_entries(to_move)?;
+        let tally = self.migrate_entries(successor, to_move)?;
         self.debug_verify();
         Ok(JoinReport {
             joined: new_id,
@@ -1141,7 +1331,7 @@ impl ClashCluster {
         self.msgs.leaves += 1;
         self.net.remove_node(victim);
         let rounds = self.net.stabilize_until_converged(256);
-        let tally = self.migrate_entries(entries)?;
+        let tally = self.migrate_entries(victim, entries)?;
         self.debug_verify();
         Ok(LeaveReport {
             left: victim,
@@ -1153,11 +1343,19 @@ impl ClashCluster {
         })
     }
 
-    /// Moves already-extracted entries to their current `Map()` owners:
-    /// installs them with tree state intact, updates the oracle for
-    /// active groups, charges state-transfer/redirect costs from the
-    /// ledgers, and re-points parent/right-child pointers cluster-wide.
-    fn migrate_entries(&mut self, entries: Vec<TableEntry>) -> Result<MigrationTally, ClashError> {
+    /// Moves already-extracted entries from `from` to their current
+    /// `Map()` owners: installs them with tree state intact, updates the
+    /// oracle for active groups, charges state-transfer/redirect costs
+    /// from the ledgers, and re-points parent/right-child pointers
+    /// cluster-wide. Handoffs are modeled *reliable*: a partition delays
+    /// (and is not latency-charged) but never destroys a transfer —
+    /// membership changes across an active partition are outside this
+    /// harness's scenarios.
+    fn migrate_entries(
+        &mut self,
+        from: ServerId,
+        entries: Vec<TableEntry>,
+    ) -> Result<MigrationTally, ClashError> {
         let mut moved_to: BTreeMap<Prefix, ServerId> = BTreeMap::new();
         for entry in &entries {
             moved_to.insert(entry.group, self.map_group(entry.group));
@@ -1170,6 +1368,10 @@ impl ClashCluster {
             // One direct ACCEPT_KEYGROUP per migrated entry — sender and
             // receiver are ring neighbours, so no DHT routing is charged.
             self.msgs.handoff_messages += 1;
+            let mut latency = SimDuration::ZERO;
+            if self.transport_send(from, dest, MessageClass::Handoff, &mut latency) {
+                self.latency.handoff.observe(ms(latency));
+            }
             if entry.active {
                 if let Some(ledger) = self.ledgers.get(&group) {
                     self.msgs.state_transfer_messages += ledger.queries.len() as u64;
@@ -1684,7 +1886,7 @@ mod tests {
         let mut c = cluster(1);
         let p = c.attach_source(1, key(42), 5.0).unwrap();
         assert_eq!(p.probes, 1); // everything self-maps
-        // Overload it: splits happen but stay local (self-mapped).
+                                 // Overload it: splits happen but stay local (self-mapped).
         for i in 2..60 {
             c.attach_source(i, key(i % 64), 3.0).unwrap();
         }
@@ -1698,7 +1900,8 @@ mod tests {
         let mut c = cluster(8);
         // Heat one region so splits create parent/right-child pointers.
         for i in 0..100 {
-            c.attach_source(i, key(0b1100_0000 | (i % 64)), 2.0).unwrap();
+            c.attach_source(i, key(0b1100_0000 | (i % 64)), 2.0)
+                .unwrap();
         }
         c.run_load_check().unwrap();
         let total_rate_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
@@ -1758,7 +1961,8 @@ mod tests {
     fn range_query_walks_the_cover() {
         let mut c = cluster(8);
         for i in 0..100 {
-            c.attach_source(i, key(0b0100_0000 | (i % 64)), 2.0).unwrap();
+            c.attach_source(i, key(0b0100_0000 | (i % 64)), 2.0)
+                .unwrap();
         }
         c.run_load_check().unwrap();
         // Query the heated quadrant: multiple groups, oracle-equal.
@@ -1911,7 +2115,8 @@ mod tests {
             )
             .unwrap();
             for i in 0..120u64 {
-                c.attach_source(i, key(0b0110_0000 | (i % 32)), 2.0).unwrap();
+                c.attach_source(i, key(0b0110_0000 | (i % 32)), 2.0)
+                    .unwrap();
             }
             for _ in 0..4 {
                 c.run_load_check().unwrap();
@@ -2098,6 +2303,169 @@ mod tests {
             s.protocol_control_messages(),
             PIN_PROTOCOL,
             "protocol_control_messages drifted: {s:?}"
+        );
+    }
+
+    #[test]
+    fn transport_swap_preserves_protocol_behavior() {
+        // The same seed and workload through the instant transport and a
+        // lossy WAN transport must produce identical protocol decisions
+        // and MessageStats: the transport charges time, it never perturbs
+        // the protocol's own RNG draws.
+        use clash_transport::{LinkPolicy, LinkTransport};
+        let run = |transport: Box<dyn clash_transport::Transport>| {
+            let mut c =
+                ClashCluster::with_transport(ClashConfig::small_test(), 8, 1, transport).unwrap();
+            for i in 0..100 {
+                c.attach_source(i, key(i % 64), 2.0).unwrap();
+            }
+            c.run_load_check().unwrap();
+            for i in 0..50 {
+                c.detach_source(i).unwrap();
+            }
+            for _ in 0..6 {
+                c.run_load_check().unwrap();
+            }
+            c
+        };
+        let instant = run(Box::new(clash_transport::InstantTransport::new()));
+        let lossy = run(Box::new(LinkTransport::new(LinkPolicy::lossy_wan(0.1), 77)));
+        assert_eq!(instant.message_stats(), lossy.message_stats());
+        assert_eq!(
+            instant.global_cover().len(),
+            lossy.global_cover().len(),
+            "identical split/merge decisions"
+        );
+        // But the transports tell very different time stories.
+        assert_eq!(instant.transport_stats().total_latency_us, 0);
+        assert!(lossy.transport_stats().total_latency_us > 0);
+        assert!(lossy.transport_stats().retransmissions > 0);
+        assert_eq!(instant.latency_metrics().locate.summary().max(), Some(0.0));
+        assert!(lossy.latency_metrics().locate.summary().mean() > 0.0);
+        lossy.verify_consistency();
+    }
+
+    #[test]
+    fn partition_blocks_cross_island_operations_and_heals() {
+        use clash_transport::{LinkPolicy, LinkTransport};
+        let mut c = ClashCluster::with_transport(
+            ClashConfig::small_test(),
+            8,
+            1,
+            Box::new(LinkTransport::new(LinkPolicy::lan(), 5)),
+        )
+        .unwrap();
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let ids = c.server_ids();
+        let (left, right) = ids.split_at(ids.len() / 2);
+        c.partition_network(&[left.to_vec(), right.to_vec()]);
+
+        // During the partition, some locates fail with NetworkUnreachable
+        // (whenever the route crosses islands) — and nothing panics or
+        // corrupts state, including load checks.
+        let mut failed = 0;
+        let mut ok = 0;
+        for bits in 0..256u64 {
+            match c.locate(key(bits)) {
+                Ok(_) => ok += 1,
+                Err(ClashError::NetworkUnreachable { .. }) => failed += 1,
+                Err(e) => panic!("unexpected error under partition: {e}"),
+            }
+        }
+        assert!(failed > 0, "an island split must sever some routes");
+        assert!(ok > 0, "intra-island routes keep working");
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+        assert!(c.transport_stats().unreachable > 0);
+
+        // After healing, every lookup agrees with the oracle again.
+        c.heal_partition();
+        c.run_load_check().unwrap();
+        for bits in 0..256u64 {
+            let p = c.locate(key(bits)).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(p.server, oracle_server);
+            assert_eq!(p.group, oracle_group);
+        }
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+    }
+
+    #[test]
+    fn committed_splits_under_partition_are_always_reported() {
+        use clash_transport::{LinkPolicy, LinkTransport};
+        // Fully sever a small fleet and overload its servers: self-mapped
+        // retry splits commit locally even though every remote placement
+        // is unreachable. Each committed split must surface in the
+        // LoadCheckReport — a partition may defer work, never hide it.
+        for seed in 0..8u64 {
+            let mut c = ClashCluster::with_transport(
+                ClashConfig::small_test(),
+                2,
+                seed,
+                Box::new(LinkTransport::new(LinkPolicy::lan(), seed)),
+            )
+            .unwrap();
+            for i in 0..100 {
+                c.attach_source(i, key(i % 64), 2.0).unwrap();
+            }
+            let islands: Vec<Vec<ServerId>> =
+                c.server_ids().into_iter().map(|id| vec![id]).collect();
+            c.partition_network(&islands);
+            let before = c.message_stats().splits;
+            let report = c.run_load_check().unwrap();
+            let committed = c.message_stats().splits - before;
+            if committed > 0 {
+                assert!(
+                    !report.splits.is_empty(),
+                    "seed {seed}: {committed} splits committed but none reported"
+                );
+            }
+            c.verify_consistency();
+            assert!(c.global_cover().is_partition());
+        }
+    }
+
+    #[test]
+    fn partition_defers_merges_until_heal() {
+        use clash_transport::{LinkPolicy, LinkTransport};
+        // Heat, partition, cool: merges whose RELEASE_KEYGROUP would
+        // cross the partition are deferred, then complete after healing.
+        let mut c = ClashCluster::with_transport(
+            ClashConfig::small_test(),
+            8,
+            1,
+            Box::new(LinkTransport::new(LinkPolicy::lan(), 9)),
+        )
+        .unwrap();
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let depth_hot = c.depth_stats().unwrap().2;
+        assert!(depth_hot > 2);
+        for i in 0..100 {
+            c.detach_source(i).unwrap();
+        }
+        let ids = c.server_ids();
+        let (left, right) = ids.split_at(ids.len() / 2);
+        c.partition_network(&[left.to_vec(), right.to_vec()]);
+        for _ in 0..12 {
+            c.run_load_check().unwrap();
+        }
+        c.verify_consistency();
+        c.heal_partition();
+        for _ in 0..12 {
+            c.run_load_check().unwrap();
+        }
+        c.verify_consistency();
+        assert_eq!(
+            c.depth_stats().unwrap().2,
+            2,
+            "after healing, consolidation must complete back to the roots"
         );
     }
 

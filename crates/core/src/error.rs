@@ -56,6 +56,17 @@ pub enum ClashError {
         /// Probes used before giving up.
         probes: u32,
     },
+    /// A protocol message could not be delivered because the network is
+    /// partitioned between the two nodes. Unlike the other variants this
+    /// is a *runtime* condition, not a bug: callers retry after the
+    /// partition heals (the `netfault` experiment exercises exactly
+    /// this).
+    NetworkUnreachable {
+        /// The sending node.
+        from: ServerId,
+        /// The unreachable destination.
+        to: ServerId,
+    },
 }
 
 impl fmt::Display for ClashError {
@@ -90,6 +101,9 @@ impl fmt::Display for ClashError {
             ClashError::SearchDiverged { probes } => {
                 write!(f, "depth search did not converge after {probes} probes")
             }
+            ClashError::NetworkUnreachable { from, to } => {
+                write!(f, "network partition: {from} cannot reach {to}")
+            }
         }
     }
 }
@@ -117,7 +131,9 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let g = Prefix::root(KeyWidth::new(8).unwrap());
-        assert!(ClashError::UnknownGroup { group: g }.to_string().contains('*'));
+        assert!(ClashError::UnknownGroup { group: g }
+            .to_string()
+            .contains('*'));
         assert!(ClashError::AtMaxDepth { group: g }
             .to_string()
             .contains("maximum depth"));

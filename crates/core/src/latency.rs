@@ -1,0 +1,83 @@
+//! End-to-end virtual-time latency recorders for the protocol operations.
+//!
+//! Each histogram records *milliseconds* of virtual time charged by the
+//! cluster's [`clash_transport::Transport`] for one complete protocol
+//! operation (all hops and responses), not per-message link delays. With
+//! the zero-latency [`clash_transport::InstantTransport`] every
+//! observation is 0 — the recorders exist so latency-model experiments
+//! (the `netfault` experiment in `clash-sim`) can report locate CDFs and
+//! percentiles without touching the protocol code.
+
+use clash_simkernel::metrics::Histogram;
+use clash_simkernel::time::SimDuration;
+
+/// Histogram range: `[0, 20s)` in 1 ms buckets — wide enough for
+/// multi-probe locates over a lossy WAN (each retry charges a timeout)
+/// while keeping quantiles meaningful at LAN scale (quantiles report
+/// bucket lower edges, so resolution equals the bucket width).
+const RANGE_MS: f64 = 20_000.0;
+const BUCKETS: usize = 20_000;
+
+/// Per-operation latency histograms (virtual milliseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyMetrics {
+    /// Completed locate operations: every depth-search probe's routing
+    /// hops plus its response, summed end-to-end.
+    pub locate: Histogram,
+    /// Remote leaf→parent `LOAD_REPORT` deliveries.
+    pub report: Histogram,
+    /// Right-child placements: DHT routing plus the `ACCEPT_KEYGROUP`
+    /// delivery.
+    pub split: Histogram,
+    /// `RELEASE_KEYGROUP` request/response round trips.
+    pub merge: Histogram,
+    /// Membership handoff transfers (one per migrated table entry).
+    pub handoff: Histogram,
+}
+
+impl LatencyMetrics {
+    /// Creates empty recorders.
+    pub fn new() -> Self {
+        let h = || Histogram::new(0.0, RANGE_MS, BUCKETS);
+        LatencyMetrics {
+            locate: h(),
+            report: h(),
+            split: h(),
+            merge: h(),
+            handoff: h(),
+        }
+    }
+}
+
+impl Default for LatencyMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Converts a virtual duration to the milliseconds the histograms record.
+pub fn ms(d: SimDuration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_quantiles() {
+        let mut m = LatencyMetrics::new();
+        for i in 0..100 {
+            m.locate.observe(f64::from(i));
+        }
+        let p50 = m.locate.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() < 5.0, "p50 {p50}");
+        assert_eq!(m.report.quantile(0.5), None, "untouched recorder is empty");
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert!((ms(SimDuration::from_millis(250)) - 250.0).abs() < 1e-9);
+        assert_eq!(ms(SimDuration::ZERO), 0.0);
+    }
+}

@@ -53,6 +53,7 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod latency;
 pub mod load;
 pub mod messages;
 pub mod server;
@@ -62,6 +63,7 @@ pub use client::{DepthSearch, SearchOutcome};
 pub use cluster::ClashCluster;
 pub use config::ClashConfig;
 pub use error::ClashError;
+pub use latency::LatencyMetrics;
 pub use load::{LoadLevel, QueryStreamLoadModel};
 pub use messages::{AcceptObjectResponse, ClashRequest};
 pub use server::ClashServer;

@@ -58,8 +58,7 @@ impl QueryStreamLoadModel {
 
     /// Load value of a single group.
     pub fn group_load(&self, load: GroupLoad) -> f64 {
-        self.rate_weight * load.data_rate
-            + self.query_weight * (1.0 + load.queries as f64).log2()
+        self.rate_weight * load.data_rate + self.query_weight * (1.0 + load.queries as f64).log2()
     }
 
     /// Total server load across its active groups.
@@ -185,7 +184,10 @@ mod tests {
 
     #[test]
     fn classify_levels() {
-        assert_eq!(LoadLevel::classify(10.0, 54.0, 90.0), LoadLevel::Underloaded);
+        assert_eq!(
+            LoadLevel::classify(10.0, 54.0, 90.0),
+            LoadLevel::Underloaded
+        );
         assert_eq!(LoadLevel::classify(70.0, 54.0, 90.0), LoadLevel::Nominal);
         assert_eq!(LoadLevel::classify(95.0, 54.0, 90.0), LoadLevel::Overloaded);
         // Boundaries are inclusive-nominal.

@@ -91,8 +91,9 @@ impl AcceptObjectResponse {
     /// The confirmed depth if the probe succeeded (cases a and b).
     pub fn accepted_depth(self) -> Option<u32> {
         match self {
-            AcceptObjectResponse::Ok { depth }
-            | AcceptObjectResponse::OkCorrected { depth } => Some(depth),
+            AcceptObjectResponse::Ok { depth } | AcceptObjectResponse::OkCorrected { depth } => {
+                Some(depth)
+            }
             AcceptObjectResponse::IncorrectDepth { .. } => None,
         }
     }
@@ -117,7 +118,10 @@ mod tests {
 
     #[test]
     fn accepted_depth_extraction() {
-        assert_eq!(AcceptObjectResponse::Ok { depth: 5 }.accepted_depth(), Some(5));
+        assert_eq!(
+            AcceptObjectResponse::Ok { depth: 5 }.accepted_depth(),
+            Some(5)
+        );
         assert_eq!(
             AcceptObjectResponse::OkCorrected { depth: 3 }.accepted_depth(),
             Some(3)

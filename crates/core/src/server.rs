@@ -170,7 +170,9 @@ impl ClashServer {
 
     /// Total load across active groups under the configured model.
     pub fn current_load(&self) -> f64 {
-        self.config.load_model.server_load(self.table.active_loads())
+        self.config
+            .load_model
+            .server_load(self.table.active_loads())
     }
 
     /// Position of the current load relative to the thresholds.
@@ -299,11 +301,7 @@ impl ClashServer {
     /// # Errors
     ///
     /// Propagates table errors when the children stopped being leaves.
-    pub fn merge_group(
-        &mut self,
-        parent: Prefix,
-        right_load: GroupLoad,
-    ) -> Result<(), ClashError> {
+    pub fn merge_group(&mut self, parent: Prefix, right_load: GroupLoad) -> Result<(), ClashError> {
         self.table.merge(parent, right_load)?;
         self.stats.merges += 1;
         Ok(())
@@ -468,7 +466,8 @@ mod tests {
         // children send load reports.
         assert!(s.pending_reports().is_empty());
         // A self-mapped right child, by contrast, does report (locally).
-        s.handle_accept_keygroup(p("011*"), s.id(), rate(40.0)).unwrap();
+        s.handle_accept_keygroup(p("011*"), s.id(), rate(40.0))
+            .unwrap();
         let reports = s.pending_reports();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].0, sid(1));
@@ -481,7 +480,8 @@ mod tests {
         let mut s = server();
         // Accept a group from a remote parent, then split it: the now
         // inactive entry must report is_leaf = false to sid(2).
-        s.handle_accept_keygroup(p("011*"), sid(2), rate(10.0)).unwrap();
+        s.handle_accept_keygroup(p("011*"), sid(2), rate(10.0))
+            .unwrap();
         s.split_group(p("011*")).unwrap();
         s.set_right_child(p("011*"), sid(7)).unwrap();
         let reports = s.pending_reports();
@@ -560,7 +560,8 @@ mod tests {
     #[test]
     fn release_keygroup_responses() {
         let mut s = server();
-        s.handle_accept_keygroup(p("011*"), sid(2), rate(4.0)).unwrap();
+        s.handle_accept_keygroup(p("011*"), sid(2), rate(4.0))
+            .unwrap();
         assert_eq!(
             s.handle_release_keygroup(p("011*")),
             ReleaseResponse::Released { load: rate(4.0) }

@@ -173,8 +173,10 @@ impl ServerTable {
                 expected_active: false,
             });
         }
-        self.map
-            .insert(group, TableEntry::new_active(group, ParentRef::Root, GroupLoad::zero()));
+        self.map.insert(
+            group,
+            TableEntry::new_active(group, ParentRef::Root, GroupLoad::zero()),
+        );
         Ok(())
     }
 
@@ -322,12 +324,9 @@ impl ServerTable {
     /// inactive and its left child is a local active leaf; and, when the
     /// right child is also local, unless it too is an active leaf.
     pub fn merge(&mut self, parent_group: Prefix, right_load: GroupLoad) -> Result<(), ClashError> {
-        let entry = self
-            .map
-            .get(parent_group)
-            .ok_or(ClashError::UnknownGroup {
-                group: parent_group,
-            })?;
+        let entry = self.map.get(parent_group).ok_or(ClashError::UnknownGroup {
+            group: parent_group,
+        })?;
         if entry.active {
             return Err(ClashError::NotMergeable {
                 parent: parent_group,
@@ -648,7 +647,8 @@ mod tests {
         // Entry 1: 011* root, split → right child 45.
         t.insert_root(p("011*")).unwrap();
         // Entry 2: 01011* accepted from s22, split → right child 26.
-        t.accept_group(p("01011*"), sid(22), GroupLoad::zero()).unwrap();
+        t.accept_group(p("01011*"), sid(22), GroupLoad::zero())
+            .unwrap();
         // Split 011* → 0110* local (entry 4) + 0111* shipped to s45.
         let (l1, _r1) = t.split(p("011*")).unwrap();
         assert_eq!(l1, p("0110*"));
@@ -917,9 +917,8 @@ mod tests {
         // Pretend 0111* (right child of 011*, held by s45) and 01011*'s
         // parent entry (held by s22) both migrated to s77.
         let new_holder = sid(77);
-        let (parents, rights) = t.repoint_moved_entries(|g| {
-            (g == p("0111*") || g == p("0101*")).then_some(new_holder)
-        });
+        let (parents, rights) =
+            t.repoint_moved_entries(|g| (g == p("0111*") || g == p("0101*")).then_some(new_holder));
         assert_eq!(rights, 1);
         assert_eq!(t.entry(p("011*")).unwrap().right_child, Some(new_holder));
         // 01011*'s parent prefix is 0101*; its pointer moves to s77.

@@ -282,10 +282,7 @@ impl<V> PrefixMap<V> {
                 return false;
             }
             let seen = seen_value_above || node.value.is_some();
-            node.children
-                .iter()
-                .flatten()
-                .all(|child| rec(child, seen))
+            node.children.iter().flatten().all(|child| rec(child, seen))
         }
         rec(&self.root, false)
     }
@@ -650,7 +647,10 @@ mod tests {
     #[test]
     fn intersecting_collects_ancestors_and_subtree() {
         let mut m: PrefixMap<u32> = PrefixMap::new(w(7));
-        for (i, s) in ["0*", "01*", "0110*", "0111*", "010*", "1*"].iter().enumerate() {
+        for (i, s) in ["0*", "01*", "0110*", "0111*", "010*", "1*"]
+            .iter()
+            .enumerate()
+        {
             m.insert(p(s), i as u32);
         }
         // Range 011*: ancestors 0*, 01* plus subtree 0110*, 0111*.

@@ -107,13 +107,7 @@ mod tests {
                 "01x",
             ),
             (KeyError::WidthMismatch { left: 8, right: 24 }, "8"),
-            (
-                KeyError::CoordinateOutOfRange {
-                    value: 9,
-                    bound: 8,
-                },
-                "9",
-            ),
+            (KeyError::CoordinateOutOfRange { value: 9, bound: 8 }, "9"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn quadtree_first_two_bits_are_quadrant() {
         let enc = QuadTreeEncoder::new(4).unwrap(); // 16×16
-        // North-west quadrant (low x, low y) → prefix 00.
+                                                    // North-west quadrant (low x, low y) → prefix 00.
         let k = enc.encode(&GridPoint::new(3, 2)).unwrap();
         assert_eq!(k.bit(0), 0);
         assert_eq!(k.bit(1), 0);

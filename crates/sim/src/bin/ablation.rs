@@ -1,7 +1,7 @@
 //! Ablation sweeps over the design choices: split policy, initial depth,
 //! merge headroom and virtual servers.
 //!
-//! Usage: `ablation [--scale F]`
+//! Usage: `ablation [--scale F] [--seed S]`
 
 use clash_sim::experiments::ablation;
 use clash_sim::report;
@@ -9,7 +9,8 @@ use clash_sim::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     eprintln!("running ablation sweeps at scale {scale}...");
-    let out = ablation::run(scale).expect("scenario failed");
+    let out = ablation::run_seeded(scale, seed).expect("scenario failed");
     print!("{}", ablation::render(&out));
 }

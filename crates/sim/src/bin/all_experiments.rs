@@ -1,16 +1,22 @@
 //! Runs every experiment in sequence and writes all CSVs — the one-shot
 //! reproduction of the paper's evaluation section.
 //!
-//! Usage: `all_experiments [--scale F] [--out DIR]`
+//! Usage: `all_experiments [--scale F] [--seed S] [--out DIR]`
+//!
+//! `--seed` overrides the root random seed of every stochastic
+//! experiment (Figures 4–5, ablations, churn, netfault, depth
+//! convergence), enabling multi-seed sweeps of the fault experiments;
+//! without it each experiment keeps its historical hard-coded seed.
 
 use clash_sim::experiments::{
-    ablation, churn, demos, depth_conv, fig3, fig4, fig5, servers_saved,
+    ablation, churn, demos, depth_conv, fig3, fig4, fig5, netfault, servers_saved,
 };
 use clash_sim::report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
     let t0 = std::time::Instant::now();
 
@@ -21,30 +27,53 @@ fn main() {
     println!("{}", fig3::render(&f3));
     fig3::write_csvs(&f3, &out_dir).expect("write fig3 csv");
 
-    eprintln!("[{:6.1}s] running Figure 4 at scale {scale}...", t0.elapsed().as_secs_f64());
-    let f4 = fig4::run(scale).expect("fig4 failed");
+    eprintln!(
+        "[{:6.1}s] running Figure 4 at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let f4 = fig4::run_seeded(scale, seed).expect("fig4 failed");
     println!("{}", fig4::render(&f4));
     fig4::write_csvs(&f4, &out_dir).expect("write fig4 csvs");
 
     println!("{}", servers_saved::render(&servers_saved::from_fig4(&f4)));
 
-    eprintln!("[{:6.1}s] running Figure 5 at scale {scale}...", t0.elapsed().as_secs_f64());
-    let f5 = fig5::run(scale).expect("fig5 failed");
+    eprintln!(
+        "[{:6.1}s] running Figure 5 at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let f5 = fig5::run_seeded(scale, seed).expect("fig5 failed");
     println!("{}", fig5::render(&f5));
     fig5::write_csvs(&f5, &out_dir).expect("write fig5 csv");
 
-    eprintln!("[{:6.1}s] running depth convergence...", t0.elapsed().as_secs_f64());
-    let dc = depth_conv::run(200, 20_000, 5_000).expect("depth conv failed");
+    eprintln!(
+        "[{:6.1}s] running depth convergence...",
+        t0.elapsed().as_secs_f64()
+    );
+    let dc = depth_conv::run_seeded(200, 20_000, 5_000, seed).expect("depth conv failed");
     println!("{}", depth_conv::render(&dc));
 
     eprintln!("[{:6.1}s] running ablations...", t0.elapsed().as_secs_f64());
-    let ab = ablation::run(scale.min(0.1)).expect("ablation failed");
+    let ab = ablation::run_seeded(scale.min(0.1), seed).expect("ablation failed");
     println!("{}", ablation::render(&ab));
 
-    eprintln!("[{:6.1}s] running churn at scale {scale}...", t0.elapsed().as_secs_f64());
-    let ch = churn::run(scale).expect("churn failed");
+    eprintln!(
+        "[{:6.1}s] running churn at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let ch = churn::run_seeded(scale, seed).expect("churn failed");
     println!("{}", churn::render(&ch));
     churn::write_csvs(&ch, &out_dir).expect("write churn csv");
 
-    eprintln!("all experiments done in {:.1}s; CSVs in {out_dir}/", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[{:6.1}s] running netfault at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let nf = netfault::run_seeded(scale, seed).expect("netfault failed");
+    println!("{}", netfault::render(&nf));
+    netfault::write_csvs(&nf, &out_dir).expect("write netfault csvs");
+
+    eprintln!(
+        "all experiments done in {:.1}s; CSVs in {out_dir}/",
+        t0.elapsed().as_secs_f64()
+    );
 }

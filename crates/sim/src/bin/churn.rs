@@ -1,7 +1,7 @@
 //! Churn experiment binary: live membership (join / graceful leave /
 //! crash) under sustained load plus a flash-crowd capacity ramp.
 //!
-//! Usage: `churn [--scale F] [--out DIR]`
+//! Usage: `churn [--scale F] [--seed S] [--out DIR]`
 
 use clash_sim::experiments::churn;
 use clash_sim::report;
@@ -9,8 +9,9 @@ use clash_sim::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
-    let out = churn::run(scale).expect("churn experiment failed");
+    let out = churn::run_seeded(scale, seed).expect("churn experiment failed");
     println!("{}", churn::render(&out));
     churn::write_csvs(&out, &out_dir).expect("write churn csv");
 }

@@ -1,7 +1,7 @@
 //! Checks the §5 claim that depth searches converge well below the
 //! binary-search bound of ⌈log₂ N⌉ probes.
 //!
-//! Usage: `depth_convergence [--servers N] [--sources N] [--lookups N]`
+//! Usage: `depth_convergence [--servers N] [--sources N] [--lookups N] [--seed S]`
 
 use clash_sim::experiments::depth_conv;
 use clash_sim::report;
@@ -16,6 +16,7 @@ fn main() {
     let servers = get("--servers", 200);
     let sources = get("--sources", 20_000);
     let lookups = get("--lookups", 5_000);
-    let out = depth_conv::run(servers, sources, lookups).expect("experiment failed");
+    let seed = report::seed_arg(&args);
+    let out = depth_conv::run_seeded(servers, sources, lookups, seed).expect("experiment failed");
     print!("{}", depth_conv::render(&out));
 }

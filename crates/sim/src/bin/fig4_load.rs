@@ -2,7 +2,7 @@
 //! depth variation for CLASH vs DHT(6)/DHT(12)/DHT(24) over the 6-hour
 //! A→B→C scenario.
 //!
-//! Usage: `fig4_load [--scale F] [--out DIR]`
+//! Usage: `fig4_load [--scale F] [--seed S] [--out DIR]`
 //! (`--scale 1.0` = the paper's 1000 servers / 100k sources; use
 //! `--release` — the full run processes millions of events.)
 
@@ -12,10 +12,11 @@ use clash_sim::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
     eprintln!("running Figure 4 at scale {scale} (4 variants in parallel)...");
     let started = std::time::Instant::now();
-    let out = fig4::run(scale).expect("scenario failed");
+    let out = fig4::run_seeded(scale, seed).expect("scenario failed");
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
     print!("{}", fig4::render(&out));
     for run in &out.runs {

@@ -2,7 +2,7 @@
 //! server) for workloads A/B/C × Ld ∈ {50, 1000} × {no queries, 50k
 //! query clients}.
 //!
-//! Usage: `fig5_overhead [--scale F] [--out DIR]`
+//! Usage: `fig5_overhead [--scale F] [--seed S] [--out DIR]`
 
 use clash_sim::experiments::fig5;
 use clash_sim::report;
@@ -10,10 +10,11 @@ use clash_sim::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
     eprintln!("running Figure 5 at scale {scale} (12 bars in parallel)...");
     let started = std::time::Instant::now();
-    let out = fig5::run(scale).expect("scenario failed");
+    let out = fig5::run_seeded(scale, seed).expect("scenario failed");
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
     print!("{}", fig5::render(&out));
     match fig5::write_csvs(&out, &out_dir) {

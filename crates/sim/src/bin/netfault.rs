@@ -1,0 +1,19 @@
+//! Network-fault experiment binary: locate-latency CDFs across link
+//! models and ring sizes, retry overhead on lossy links, and a
+//! partition/heal scenario with a post-heal oracle sweep.
+//!
+//! Usage: `netfault [--scale F] [--seed S] [--out DIR]`
+
+use clash_sim::experiments::netfault;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
+    let out_dir = report::out_dir_arg(&args);
+    eprintln!("running netfault at scale {scale}...");
+    let out = netfault::run_seeded(scale, seed).expect("netfault experiment failed");
+    println!("{}", netfault::render(&out));
+    netfault::write_csvs(&out, &out_dir).expect("write netfault csvs");
+}

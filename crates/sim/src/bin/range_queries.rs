@@ -1,7 +1,7 @@
 //! The §7 range-query extension: distinct servers touched per prefix
 //! range, CLASH vs the fixed-depth baselines.
 //!
-//! Usage: `range_queries [--scale F] [--queries N]`
+//! Usage: `range_queries [--scale F] [--queries N] [--seed S]`
 
 use clash_sim::experiments::range_queries;
 use clash_sim::report;
@@ -12,7 +12,8 @@ fn main() {
     let queries = report::flag_value(&args, "--queries")
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
+    let seed = report::seed_arg(&args);
     eprintln!("running range-query comparison at scale {scale}...");
-    let out = range_queries::run(scale, queries).expect("experiment failed");
+    let out = range_queries::run_seeded(scale, queries, seed).expect("experiment failed");
     print!("{}", range_queries::render(&out));
 }

@@ -1,7 +1,7 @@
 //! Checks the §7 claim: CLASH reduces the number of servers utilized by
 //! as much as ~80% versus basic DHT.
 //!
-//! Usage: `servers_saved [--scale F]`
+//! Usage: `servers_saved [--scale F] [--seed S]`
 
 use clash_sim::experiments::servers_saved;
 use clash_sim::report;
@@ -9,7 +9,8 @@ use clash_sim::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
     eprintln!("running Figure 4 scenario at scale {scale} to derive savings...");
-    let (_fig4, savings) = servers_saved::run(scale).expect("scenario failed");
+    let (_fig4, savings) = servers_saved::run_seeded(scale, seed).expect("scenario failed");
     print!("{}", servers_saved::render(&savings));
 }

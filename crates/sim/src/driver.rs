@@ -20,8 +20,10 @@ use clash_core::error::ClashError;
 use clash_core::ServerId;
 use clash_simkernel::dist::Exponential;
 use clash_simkernel::event::EventQueue;
+use clash_simkernel::metrics::Histogram;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::{SimDuration, SimTime};
+use clash_transport::Transport;
 use clash_workload::churn::ChurnSpec;
 use clash_workload::scenario::ScenarioSpec;
 use clash_workload::skew::{Workload, WorkloadKind};
@@ -59,6 +61,13 @@ pub struct SampleRow {
     /// Membership handoff messages/sec/server in the last window (0
     /// without churn).
     pub handoff_msgs_per_sec_per_server: f64,
+    /// Median end-to-end locate latency in the last window, virtual ms
+    /// (0 with the instant transport or when the window had no locates).
+    pub locate_p50_ms: f64,
+    /// 95th-percentile locate latency in the last window, virtual ms.
+    pub locate_p95_ms: f64,
+    /// 99th-percentile locate latency in the last window, virtual ms.
+    pub locate_p99_ms: f64,
 }
 
 /// Per-phase aggregates (the paper reports per-workload numbers).
@@ -118,13 +127,19 @@ impl RunResult {
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    KeyChange { source: u64 },
-    QueryDeath { query: u64 },
+    KeyChange {
+        source: u64,
+    },
+    QueryDeath {
+        query: u64,
+    },
     LoadCheck,
     Sample,
     /// A server joins. `sustained` joins re-arm the Poisson process;
     /// flash-crowd ramp joins fire once.
-    Join { sustained: bool },
+    Join {
+        sustained: bool,
+    },
     /// A server drains gracefully.
     Leave,
     /// A server crashes.
@@ -174,6 +189,33 @@ impl SimDriver {
         label: String,
     ) -> Result<Self, ClashError> {
         let cluster = ClashCluster::new(config, spec.servers, spec.seed)?;
+        Self::from_cluster(config, spec, label, cluster)
+    }
+
+    /// [`SimDriver::with_label`] over an explicit message transport: the
+    /// cluster charges every protocol message latency (and loss/partition
+    /// behavior) through it, and the driver samples windowed locate
+    /// latency percentiles into the [`SampleRow`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and placement errors.
+    pub fn with_transport(
+        config: ClashConfig,
+        spec: ScenarioSpec,
+        label: String,
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, ClashError> {
+        let cluster = ClashCluster::with_transport(config, spec.servers, spec.seed, transport)?;
+        Self::from_cluster(config, spec, label, cluster)
+    }
+
+    fn from_cluster(
+        config: ClashConfig,
+        spec: ScenarioSpec,
+        label: String,
+        cluster: ClashCluster,
+    ) -> Result<Self, ClashError> {
         let rng = DetRng::new(spec.seed).substream("driver");
         let churn_rng = DetRng::new(spec.seed).substream("churn");
         let workloads = [
@@ -252,10 +294,11 @@ impl SimDriver {
             }
             if let Some(flash) = churn.flash_crowd {
                 for i in 0..flash.joins {
-                    let offset =
-                        SimDuration::from_micros(flash.spacing.as_micros() * i as u64);
-                    self.queue
-                        .schedule(SimTime::ZERO + flash.at + offset, Ev::Join { sustained: false });
+                    let offset = SimDuration::from_micros(flash.spacing.as_micros() * i as u64);
+                    self.queue.schedule(
+                        SimTime::ZERO + flash.at + offset,
+                        Ev::Join { sustained: false },
+                    );
                 }
             }
         }
@@ -264,6 +307,7 @@ impl SimDriver {
         let mut last_msgs = self.cluster.message_stats();
         let mut last_sample_time = SimTime::ZERO;
         let mut last_servers = self.cluster.server_count();
+        let mut last_locate = self.cluster.latency_metrics().locate.clone();
 
         while let Some((at, ev)) = self.queue.pop_before(end) {
             match ev {
@@ -288,9 +332,16 @@ impl SimDriver {
                 }
                 Ev::Sample => {
                     let window = at.duration_since(last_sample_time);
-                    samples.push(self.sample(at, window, &mut last_msgs, &mut last_servers));
+                    samples.push(self.sample(
+                        at,
+                        window,
+                        &mut last_msgs,
+                        &mut last_servers,
+                        &mut last_locate,
+                    ));
                     last_sample_time = at;
-                    self.queue.schedule(at + self.spec.sample_period, Ev::Sample);
+                    self.queue
+                        .schedule(at + self.spec.sample_period, Ev::Sample);
                 }
                 Ev::Join { sustained } => {
                     let churn = churn.as_ref().expect("join events require churn");
@@ -326,7 +377,13 @@ impl SimDriver {
         // Final sample at the end boundary.
         let window = end.saturating_duration_since(last_sample_time);
         if !window.is_zero() {
-            samples.push(self.sample(end, window, &mut last_msgs, &mut last_servers));
+            samples.push(self.sample(
+                end,
+                window,
+                &mut last_msgs,
+                &mut last_servers,
+                &mut last_locate,
+            ));
         }
 
         let phases = self.summarize(&samples);
@@ -417,7 +474,8 @@ impl SimDriver {
         self.cluster.attach_query(id, key)?;
         let lifetime =
             QueryClientModel::new(self.spec.mean_query_lifetime).sample_lifetime(&mut self.rng);
-        self.queue.schedule(at + lifetime, Ev::QueryDeath { query: id });
+        self.queue
+            .schedule(at + lifetime, Ev::QueryDeath { query: id });
         Ok(())
     }
 
@@ -427,6 +485,7 @@ impl SimDriver {
         window: SimDuration,
         last_msgs: &mut MessageStats,
         last_servers: &mut usize,
+        last_locate: &mut Histogram,
     ) -> SampleRow {
         let capacity = self.config.capacity;
         let active_eps = capacity * 0.01;
@@ -440,8 +499,7 @@ impl SimDriver {
                 active_sum += load;
             }
         }
-        let (depth_min, depth_avg, depth_max) =
-            self.cluster.depth_stats().unwrap_or((0, 0.0, 0));
+        let (depth_min, depth_avg, depth_max) = self.cluster.depth_stats().unwrap_or((0, 0.0, 0));
         let msgs = self.cluster.message_stats();
         let secs = window.as_secs_f64().max(1e-9);
         let server_count = self.cluster.server_count();
@@ -456,6 +514,23 @@ impl SimDriver {
         let total = (msgs.total_messages() - last_msgs.total_messages()) as f64;
         let handoff = (msgs.handoff_messages - last_msgs.handoff_messages) as f64;
         *last_msgs = msgs;
+        // Windowed locate latency percentiles: quantiles over only the
+        // locates completed since the previous sample (one bucket diff
+        // for all three). The instant transport's observations are all
+        // exactly zero, so skip the histogram clone/diff entirely there.
+        let (locate_p50_ms, locate_p95_ms, locate_p99_ms) = if self.cluster.transport_is_instant() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let locate_hist = &self.cluster.latency_metrics().locate;
+            let quantiles = locate_hist.quantiles_since(last_locate, &[0.50, 0.95, 0.99]);
+            let (p50, p95, p99) = (
+                quantiles[0].unwrap_or(0.0),
+                quantiles[1].unwrap_or(0.0),
+                quantiles[2].unwrap_or(0.0),
+            );
+            *last_locate = locate_hist.clone();
+            (p50, p95, p99)
+        };
         SampleRow {
             time_hours: at.as_hours_f64(),
             workload: self
@@ -476,6 +551,9 @@ impl SimDriver {
             total_msgs_per_sec_per_server: total / secs / servers,
             server_count,
             handoff_msgs_per_sec_per_server: handoff / secs / servers,
+            locate_p50_ms,
+            locate_p95_ms,
+            locate_p99_ms,
         }
     }
 
@@ -501,8 +579,7 @@ impl SimDriver {
                 peak_load_pct: rows.iter().map(|r| r.max_load_pct).fold(0.0, f64::max),
                 mean_max_load_pct: rows.iter().map(|r| r.max_load_pct).sum::<f64>() / n,
                 mean_avg_load_pct: rows.iter().map(|r| r.avg_active_load_pct).sum::<f64>() / n,
-                mean_active_servers: rows.iter().map(|r| r.active_servers as f64).sum::<f64>()
-                    / n,
+                mean_active_servers: rows.iter().map(|r| r.active_servers as f64).sum::<f64>() / n,
                 mean_ctrl_msgs: rows
                     .iter()
                     .map(|r| r.ctrl_msgs_per_sec_per_server)
@@ -541,8 +618,7 @@ mod tests {
             query_clients: 0,
             load_check_period: SimDuration::from_secs(60),
             sample_period: SimDuration::from_secs(60),
-            ..ScenarioSpec::paper()
-                .with_phase_duration(SimDuration::from_mins(5))
+            ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(5))
         }
     }
 
@@ -557,10 +633,17 @@ mod tests {
 
     #[test]
     fn clash_run_produces_samples_and_bounds_load() {
-        let result = SimDriver::new(tiny_config(), tiny_spec()).unwrap().run().unwrap();
+        let result = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(result.label, "CLASH");
         // 15 minutes, sampled each minute (+ final boundary sample).
-        assert!(result.samples.len() >= 14, "{} samples", result.samples.len());
+        assert!(
+            result.samples.len() >= 14,
+            "{} samples",
+            result.samples.len()
+        );
         assert!(result.splits > 0, "skewed workloads must split");
         // After the transient, CLASH caps load near the overload threshold.
         let late_max = result
@@ -584,12 +667,18 @@ mod tests {
         assert_eq!(result.splits, 0);
         assert_eq!(result.merges, 0);
         // Depth is pinned at 6.
-        assert!(result.samples.iter().all(|r| r.depth_min == 6 && r.depth_max == 6));
+        assert!(result
+            .samples
+            .iter()
+            .all(|r| r.depth_min == 6 && r.depth_max == 6));
     }
 
     #[test]
     fn depth_grows_with_skew_phases() {
-        let result = SimDriver::new(tiny_config(), tiny_spec()).unwrap().run().unwrap();
+        let result = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
         let a = result.phase(WorkloadKind::A).unwrap();
         let c = result.phase(WorkloadKind::C).unwrap();
         assert!(
@@ -618,8 +707,14 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let r1 = SimDriver::new(tiny_config(), tiny_spec()).unwrap().run().unwrap();
-        let r2 = SimDriver::new(tiny_config(), tiny_spec()).unwrap().run().unwrap();
+        let r1 = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
+        let r2 = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r1.samples.len(), r2.samples.len());
         for (a, b) in r1.samples.iter().zip(&r2.samples) {
             assert_eq!(a, b);
@@ -629,13 +724,9 @@ mod tests {
 
     #[test]
     fn membership_churn_runs_end_to_end() {
-        let churn = ChurnSpec::sustained(
-            SimDuration::from_mins(2),
-            SimDuration::from_mins(3),
-            8,
-            64,
-        )
-        .with_crashes(SimDuration::from_mins(6));
+        let churn =
+            ChurnSpec::sustained(SimDuration::from_mins(2), SimDuration::from_mins(3), 8, 64)
+                .with_crashes(SimDuration::from_mins(6));
         let spec = ScenarioSpec {
             churn: Some(churn),
             ..tiny_spec()
@@ -657,17 +748,16 @@ mod tests {
 
     #[test]
     fn churn_runs_are_deterministic() {
-        let churn = ChurnSpec::sustained(
-            SimDuration::from_mins(2),
-            SimDuration::from_mins(3),
-            8,
-            64,
-        );
+        let churn =
+            ChurnSpec::sustained(SimDuration::from_mins(2), SimDuration::from_mins(3), 8, 64);
         let spec = ScenarioSpec {
             churn: Some(churn),
             ..tiny_spec()
         };
-        let r1 = SimDriver::new(tiny_config(), spec.clone()).unwrap().run().unwrap();
+        let r1 = SimDriver::new(tiny_config(), spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let r2 = SimDriver::new(tiny_config(), spec).unwrap().run().unwrap();
         assert_eq!(r1.samples, r2.samples);
         assert_eq!(r1.final_messages, r2.final_messages);
@@ -676,11 +766,8 @@ mod tests {
 
     #[test]
     fn flash_crowd_ramps_capacity() {
-        let churn = ChurnSpec::flash_crowd(
-            SimDuration::from_mins(5),
-            6,
-            SimDuration::from_secs(30),
-        );
+        let churn =
+            ChurnSpec::flash_crowd(SimDuration::from_mins(5), 6, SimDuration::from_secs(30));
         let spec = ScenarioSpec {
             churn: Some(churn),
             ..tiny_spec()
@@ -709,12 +796,7 @@ mod tests {
                 joins: 4,
                 spacing: SimDuration::from_secs(30),
             }),
-            ..ChurnSpec::sustained(
-                SimDuration::from_mins(5),
-                SimDuration::from_mins(60),
-                8,
-                64,
-            )
+            ..ChurnSpec::sustained(SimDuration::from_mins(5), SimDuration::from_mins(60), 8, 64)
         };
         let spec = ScenarioSpec {
             churn: Some(churn),
@@ -732,8 +814,49 @@ mod tests {
     }
 
     #[test]
+    fn wan_transport_changes_latency_not_protocol() {
+        use clash_transport::{LinkPolicy, LinkTransport};
+        let instant = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
+        let spec = tiny_spec();
+        let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), spec.seed));
+        let wan = SimDriver::with_transport(tiny_config(), spec, "CLASH/wan".to_owned(), transport)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Identical protocol decisions and message accounting...
+        assert_eq!(instant.final_messages, wan.final_messages);
+        assert_eq!(instant.splits, wan.splits);
+        for (a, b) in instant.samples.iter().zip(&wan.samples) {
+            assert_eq!(a.max_load_pct, b.max_load_pct);
+            assert_eq!(a.depth_max, b.depth_max);
+            // ...but only the WAN run reports real latency percentiles.
+            assert_eq!(a.locate_p50_ms, 0.0);
+        }
+        let p95_seen = wan
+            .samples
+            .iter()
+            .map(|r| r.locate_p95_ms)
+            .fold(0.0, f64::max);
+        assert!(
+            p95_seen > 20.0,
+            "WAN locates must cost tens of ms: {p95_seen}"
+        );
+        let monotone = wan
+            .samples
+            .iter()
+            .all(|r| r.locate_p50_ms <= r.locate_p95_ms && r.locate_p95_ms <= r.locate_p99_ms);
+        assert!(monotone, "percentiles must be ordered");
+    }
+
+    #[test]
     fn message_rates_are_positive_under_churn() {
-        let result = SimDriver::new(tiny_config(), tiny_spec()).unwrap().run().unwrap();
+        let result = SimDriver::new(tiny_config(), tiny_spec())
+            .unwrap()
+            .run()
+            .unwrap();
         let any_ctrl = result
             .samples
             .iter()

@@ -33,18 +33,26 @@ pub struct AblationOutput {
     pub virtual_servers: Vec<(usize, f64)>,
 }
 
-fn hot_spec(scale: f64) -> ScenarioSpec {
+fn base_spec(scale: f64, seed: Option<u64>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper().scaled(scale);
+    if let Some(seed) = seed {
+        spec.seed = seed;
+    }
+    spec
+}
+
+fn hot_spec(scale: f64, seed: Option<u64>) -> ScenarioSpec {
     ScenarioSpec {
         phases: vec![Phase {
             workload: WorkloadKind::C,
             duration: SimDuration::from_mins(30),
         }],
-        ..ScenarioSpec::paper().scaled(scale)
+        ..base_spec(scale, seed)
     }
 }
 
 /// A heat-then-cool scenario for the thrash measurement.
-fn cycle_spec(scale: f64) -> ScenarioSpec {
+fn cycle_spec(scale: f64, seed: Option<u64>) -> ScenarioSpec {
     ScenarioSpec {
         phases: vec![
             Phase {
@@ -56,7 +64,7 @@ fn cycle_spec(scale: f64) -> ScenarioSpec {
                 duration: SimDuration::from_mins(25),
             },
         ],
-        ..ScenarioSpec::paper().scaled(scale)
+        ..base_spec(scale, seed)
     }
 }
 
@@ -66,6 +74,16 @@ fn cycle_spec(scale: f64) -> ScenarioSpec {
 ///
 /// Propagates scenario errors.
 pub fn run(scale: f64) -> Result<AblationOutput, ClashError> {
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps every
+/// hard-coded default seed).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<AblationOutput, ClashError> {
     // 1. Split policy.
     let split_policy = run_variants(
         [SplitPolicy::Hottest, SplitPolicy::FirstLoaded]
@@ -75,7 +93,7 @@ pub fn run(scale: f64) -> Result<AblationOutput, ClashError> {
                     split_policy: policy,
                     ..ClashConfig::paper()
                 };
-                (config, hot_spec(scale), format!("{policy:?}"))
+                (config, hot_spec(scale, seed), format!("{policy:?}"))
             })
             .collect(),
     )?;
@@ -90,7 +108,7 @@ pub fn run(scale: f64) -> Result<AblationOutput, ClashError> {
                     initial_depth: d,
                     ..ClashConfig::paper()
                 };
-                (config, hot_spec(scale), format!("depth {d}"))
+                (config, hot_spec(scale, seed), format!("depth {d}"))
             })
             .collect(),
     )?;
@@ -106,7 +124,7 @@ pub fn run(scale: f64) -> Result<AblationOutput, ClashError> {
                     merge_headroom_fraction: h,
                     ..ClashConfig::paper()
                 };
-                (config, cycle_spec(scale), format!("headroom {h}"))
+                (config, cycle_spec(scale, seed), format!("headroom {h}"))
             })
             .collect(),
     )?;
@@ -120,7 +138,7 @@ pub fn run(scale: f64) -> Result<AblationOutput, ClashError> {
     // 4. Virtual servers (pure Chord-layer measurement).
     let mut virtual_servers = Vec::new();
     for &vnodes in &[1usize, 4, 16] {
-        let mut rng = DetRng::new(99);
+        let mut rng = DetRng::new(seed.unwrap_or(99));
         let ring = VirtualRing::new(
             HashSpace::PAPER,
             (1000.0 * scale).max(8.0) as usize,
@@ -175,7 +193,12 @@ pub fn render(out: &AblationOutput) -> String {
         })
         .collect();
     s.push_str(&report::ascii_table(
-        &["initial depth", "active servers", "ctrl msgs/s/server", "peak load %"],
+        &[
+            "initial depth",
+            "active servers",
+            "ctrl msgs/s/server",
+            "peak load %",
+        ],
         &rows,
     ));
 
@@ -183,9 +206,7 @@ pub fn render(out: &AblationOutput) -> String {
     let rows: Vec<Vec<String>> = out
         .merge_headroom
         .iter()
-        .map(|(h, splits, merges)| {
-            vec![report::f2(*h), splits.to_string(), merges.to_string()]
-        })
+        .map(|(h, splits, merges)| vec![report::f2(*h), splits.to_string(), merges.to_string()])
         .collect();
     s.push_str(&report::ascii_table(
         &["headroom fraction", "splits", "merges"],

@@ -22,6 +22,7 @@ use clash_core::error::ClashError;
 use clash_keyspace::key::Key;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::SimDuration;
+use clash_transport::{LinkPolicy, LinkTransport};
 use clash_workload::churn::ChurnSpec;
 use clash_workload::scenario::{Phase, ScenarioSpec};
 use clash_workload::skew::WorkloadKind;
@@ -49,6 +50,9 @@ pub struct ChurnRun {
     pub sweep: OracleSweep,
     /// Servers at the end of the run.
     pub final_servers: usize,
+    /// Whole-run locate latency percentiles `(p50, p95, p99)` in virtual
+    /// ms, over the experiment's WAN transport.
+    pub locate_ms: (f64, f64, f64),
 }
 
 /// The churn experiment's output.
@@ -64,7 +68,7 @@ pub struct ChurnOutput {
 
 /// Sweeps `n` deterministic keys through the client protocol and checks
 /// each placement against the oracle.
-fn oracle_sweep(cluster: &mut ClashCluster, n: u64, seed: u64) -> OracleSweep {
+pub(crate) fn oracle_sweep(cluster: &mut ClashCluster, n: u64, seed: u64) -> OracleSweep {
     let width = cluster.config().key_width;
     let mut rng = DetRng::new(seed);
     let mut agreed = 0;
@@ -86,18 +90,22 @@ fn oracle_sweep(cluster: &mut ClashCluster, n: u64, seed: u64) -> OracleSweep {
     }
 }
 
-fn run_one(
-    config: ClashConfig,
-    spec: ScenarioSpec,
-    label: String,
-) -> Result<ChurnRun, ClashError> {
-    let (result, mut cluster) = SimDriver::with_label(config, spec, label)?.run_with_cluster()?;
+fn run_one(config: ClashConfig, spec: ScenarioSpec, label: String) -> Result<ChurnRun, ClashError> {
+    // Churn runs ride a WAN transport so the latency-percentile columns
+    // carry real numbers; the transport draws from its own substream, so
+    // the protocol behaves exactly as it would over the instant one.
+    let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), spec.seed));
+    let (result, mut cluster) =
+        SimDriver::with_transport(config, spec, label, transport)?.run_with_cluster()?;
     cluster.verify_consistency();
     let sweep = oracle_sweep(&mut cluster, 512, 0xC1A5_0C12);
+    let locate = &cluster.latency_metrics().locate;
+    let q = |p: f64| locate.quantile(p).unwrap_or(0.0);
     Ok(ChurnRun {
         result,
         sweep,
         final_servers: cluster.server_count(),
+        locate_ms: (q(0.50), q(0.95), q(0.99)),
     })
 }
 
@@ -107,7 +115,20 @@ fn run_one(
 ///
 /// Propagates scenario errors.
 pub fn run(scale: f64) -> Result<ChurnOutput, ClashError> {
-    let base = ScenarioSpec::paper().scaled(scale);
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the paper
+/// scenario's hard-coded seed).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<ChurnOutput, ClashError> {
+    let mut base = ScenarioSpec::paper().scaled(scale);
+    if let Some(seed) = seed {
+        base.seed = seed;
+    }
     let servers = base.servers;
 
     // Sustained: a join roughly every 10 virtual minutes, a drain every
@@ -141,11 +162,7 @@ pub fn run(scale: f64) -> Result<ChurnOutput, ClashError> {
         (servers / 2).max(1),
         SimDuration::from_secs(30),
     ));
-    let flash = run_one(
-        ClashConfig::paper(),
-        flash_spec,
-        "CLASH+flash".to_owned(),
-    )?;
+    let flash = run_one(ClashConfig::paper(), flash_spec, "CLASH+flash".to_owned())?;
 
     Ok(ChurnOutput {
         sustained,
@@ -167,6 +184,9 @@ fn totals_row(run: &ChurnRun) -> Vec<String> {
         r.final_messages.handoff_messages.to_string(),
         format!("{}/{}", run.sweep.agreed, run.sweep.checked),
         run.sweep.max_probes.to_string(),
+        report::f1(run.locate_ms.0),
+        report::f1(run.locate_ms.1),
+        report::f1(run.locate_ms.2),
     ]
 }
 
@@ -189,6 +209,9 @@ pub fn render(out: &ChurnOutput) -> String {
             "handoff msgs",
             "oracle agreement",
             "max probes",
+            "locate p50 ms",
+            "locate p95 ms",
+            "locate p99 ms",
         ],
         &[totals_row(&out.sustained), totals_row(&out.flash)],
     ));
@@ -249,6 +272,9 @@ pub fn write_csvs(out: &ChurnOutput, dir: &str) -> std::io::Result<()> {
                 report::f2(r.handoff_msgs_per_sec_per_server),
                 report::f2(r.proto_msgs_per_sec_per_server),
                 report::f2(r.total_msgs_per_sec_per_server),
+                report::f2(r.locate_p50_ms),
+                report::f2(r.locate_p95_ms),
+                report::f2(r.locate_p99_ms),
             ]);
         }
     }
@@ -265,6 +291,9 @@ pub fn write_csvs(out: &ChurnOutput, dir: &str) -> std::io::Result<()> {
             "handoff_msgs_per_sec_per_server",
             "proto_msgs_per_sec_per_server",
             "total_msgs_per_sec_per_server",
+            "locate_p50_ms",
+            "locate_p95_ms",
+            "locate_p99_ms",
         ],
         &rows,
     )
@@ -287,13 +316,24 @@ mod tests {
                 run.result.label
             );
             assert!(run.sweep.max_probes <= 6, "depth search stays bounded");
+            let (p50, p95, p99) = run.locate_ms;
+            assert!(
+                p50 > 0.0 && p50 <= p95 && p95 <= p99,
+                "{}: WAN locate percentiles must be recorded and ordered: {:?}",
+                run.result.label,
+                run.locate_ms
+            );
         }
         let s = &out.sustained.result;
         assert!(s.joins > 0, "sustained churn must join servers");
         assert!(s.leaves > 0, "sustained churn must drain servers");
         assert!(s.final_messages.handoff_messages > 0);
         let f = &out.flash.result;
-        assert!(f.joins >= 10, "flash crowd adds half the fleet: {}", f.joins);
+        assert!(
+            f.joins >= 10,
+            "flash crowd adds half the fleet: {}",
+            f.joins
+        );
         assert_eq!(f.leaves, 0);
         assert!(
             out.flash.final_servers > 20,

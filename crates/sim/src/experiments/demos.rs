@@ -33,17 +33,20 @@ pub fn figure1() -> String {
     t0.insert_root(p7("011*")).expect("fresh group");
     let (_l, r) = t0.split(p7("011*")).expect("splittable");
     t0.set_right_child(p7("011*"), s12).expect("just split");
-    t12.accept_group(r, s0, GroupLoad::zero()).expect("must accept");
+    t12.accept_group(r, s0, GroupLoad::zero())
+        .expect("must accept");
 
     // s12 splits "0111*": right child "01111*" → s5.
     let (_l, r) = t12.split(p7("0111*")).expect("splittable");
     t12.set_right_child(p7("0111*"), s5).expect("just split");
-    t5.accept_group(r, s12, GroupLoad::zero()).expect("must accept");
+    t5.accept_group(r, s12, GroupLoad::zero())
+        .expect("must accept");
 
     // s12 splits "01110*": right child "011101*" → s7.
     let (_l, r) = t12.split(p7("01110*")).expect("splittable");
     t12.set_right_child(p7("01110*"), s7).expect("just split");
-    t7.accept_group(r, s12, GroupLoad::zero()).expect("must accept");
+    t7.accept_group(r, s12, GroupLoad::zero())
+        .expect("must accept");
 
     let mut out = String::new();
     out.push_str("Figure 1 — load balancing using binary splitting\n\n");
@@ -89,7 +92,11 @@ pub fn figure2() -> String {
     out.push_str("ACCEPT_OBJECT case analysis (§5):\n");
     let cases = [
         ("(a) key 0110001 at depth 5 (right depth)", "0110001", 5u32),
-        ("(b) key 0110001 at depth 7 (wrong depth, right server)", "0110001", 7),
+        (
+            "(b) key 0110001 at depth 7 (wrong depth, right server)",
+            "0110001",
+            7,
+        ),
         ("(c) key 0101010 at depth 6 (wrong server)", "0101010", 6),
     ];
     for (desc, key, depth) in cases {

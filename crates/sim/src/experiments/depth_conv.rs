@@ -47,14 +47,29 @@ pub struct DepthConvOutput {
 ///
 /// Propagates cluster errors.
 pub fn run(servers: usize, sources: usize, lookups: usize) -> Result<DepthConvOutput, ClashError> {
+    run_seeded(servers, sources, lookups, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the
+/// hard-coded default seeds).
+///
+/// # Errors
+///
+/// Propagates cluster errors.
+pub fn run_seeded(
+    servers: usize,
+    sources: usize,
+    lookups: usize,
+    seed: Option<u64>,
+) -> Result<DepthConvOutput, ClashError> {
     let config = ClashConfig {
         // Scale capacity so the given population forces deep splitting.
         capacity: (sources as f64 * 2.0 / 40.0).max(50.0),
         ..ClashConfig::paper()
     };
-    let mut cluster = ClashCluster::new(config, servers, 42)?;
+    let mut cluster = ClashCluster::new(config, servers, seed.unwrap_or(42))?;
     let workload = Workload::paper(WorkloadKind::C);
-    let mut rng = DetRng::new(4242);
+    let mut rng = DetRng::new(seed.map_or(4242, |s| s ^ 4242));
     for i in 0..sources as u64 {
         let key = workload.sample_key(config.key_width, &mut rng);
         cluster.attach_source(i, key, 2.0)?;
@@ -86,7 +101,10 @@ pub fn run(servers: usize, sources: usize, lookups: usize) -> Result<DepthConvOu
     };
     Ok(DepthConvOutput {
         tree_depth,
-        stats: vec![make("fresh (no hint)", &fresh), make("hinted (cached depth)", &hinted)],
+        stats: vec![
+            make("fresh (no hint)", &fresh),
+            make("hinted (cached depth)", &hinted),
+        ],
         lookups,
     })
 }
@@ -127,7 +145,11 @@ mod tests {
     #[test]
     fn converges_below_binary_search_bound() {
         let out = run(40, 2000, 400).unwrap();
-        assert!(out.tree_depth.2 > 6, "tree must deepen: {:?}", out.tree_depth);
+        assert!(
+            out.tree_depth.2 > 6,
+            "tree must deepen: {:?}",
+            out.tree_depth
+        );
         let fresh = &out.stats[0];
         // The paper's claim: usually much faster than log2(N).
         assert!(

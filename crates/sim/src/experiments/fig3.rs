@@ -85,7 +85,9 @@ pub fn render(out: &Fig3Output) -> String {
             .map(|c| c.iter().sum::<f64>() / c.len() as f64)
             .collect();
         let max = buckets.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
-        s.push_str(&format!("workload {kind} (each column = 8 base values, peak normalized):\n"));
+        s.push_str(&format!(
+            "workload {kind} (each column = 8 base values, peak normalized):\n"
+        ));
         for level in (1..=8).rev() {
             let threshold = max * level as f64 / 8.0;
             let line: String = buckets
@@ -117,7 +119,12 @@ pub fn write_csvs(out: &Fig3Output, dir: &str) -> std::io::Result<()> {
     }
     report::write_csv(
         format!("{dir}/fig3_workloads.csv"),
-        &["base_value", "A_pkts_per_sec", "B_pkts_per_sec", "C_pkts_per_sec"],
+        &[
+            "base_value",
+            "A_pkts_per_sec",
+            "B_pkts_per_sec",
+            "C_pkts_per_sec",
+        ],
         &rows,
     )
 }

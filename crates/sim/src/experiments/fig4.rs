@@ -26,7 +26,21 @@ pub struct Fig4Output {
 ///
 /// Propagates scenario errors.
 pub fn run(scale: f64) -> Result<Fig4Output, ClashError> {
-    run_spec(ScenarioSpec::paper().scaled(scale))
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the paper
+/// scenario's hard-coded seed, reproducing historical outputs exactly).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<Fig4Output, ClashError> {
+    let mut spec = ScenarioSpec::paper().scaled(scale);
+    if let Some(seed) = seed {
+        spec.seed = seed;
+    }
+    run_spec(spec)
 }
 
 /// Runs the four variants over an explicit scenario.
@@ -82,16 +96,16 @@ pub fn render(out: &Fig4Output) -> String {
             )
         })
         .collect();
-    let borrowed: Vec<(&str, &[f64])> = max_series
-        .iter()
-        .map(|(n, v)| (*n, v.as_slice()))
-        .collect();
+    let borrowed: Vec<(&str, &[f64])> =
+        max_series.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     s.push_str("Maximum server load (% of capacity) over the 6 hours:\n");
     s.push_str(&report::ascii_chart(&borrowed, 14));
     s.push('\n');
-    s.push_str(&series_panel(out, "Panel: Maximum server load (% of capacity)", |r| {
-        report::f1(r.max_load_pct)
-    }));
+    s.push_str(&series_panel(
+        out,
+        "Panel: Maximum server load (% of capacity)",
+        |r| report::f1(r.max_load_pct),
+    ));
     s.push('\n');
     s.push_str(&series_panel(
         out,
@@ -243,8 +257,7 @@ pub(crate) fn pressured_test_variants(
     let spec = ScenarioSpec {
         servers: 24,
         sources: 3000,
-        ..ScenarioSpec::paper()
-            .with_phase_duration(SimDuration::from_mins(15))
+        ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(15))
     };
     let variants = figure4_variants()
         .into_iter()

@@ -52,7 +52,10 @@ fn steady_state_rates(run: &RunResult, warmup_hours: f64) -> (f64, f64, f64) {
     }
     let n = rows.len() as f64;
     (
-        rows.iter().map(|r| r.ctrl_msgs_per_sec_per_server).sum::<f64>() / n,
+        rows.iter()
+            .map(|r| r.ctrl_msgs_per_sec_per_server)
+            .sum::<f64>()
+            / n,
         rows.iter()
             .map(|r| r.proto_msgs_per_sec_per_server)
             .sum::<f64>()
@@ -72,7 +75,20 @@ fn steady_state_rates(run: &RunResult, warmup_hours: f64) -> (f64, f64, f64) {
 ///
 /// Propagates scenario errors.
 pub fn run(scale: f64) -> Result<Fig5Output, ClashError> {
-    let base = ScenarioSpec::paper().scaled(scale);
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the paper
+/// scenario's hard-coded seed).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<Fig5Output, ClashError> {
+    let mut base = ScenarioSpec::paper().scaled(scale);
+    if let Some(seed) = seed {
+        base.seed = seed;
+    }
     let query_population = (50_000.0 * scale).round().max(1.0) as usize;
     let mut variants = Vec::new();
     let mut meta = Vec::new();
@@ -197,9 +213,7 @@ mod tests {
             out.bars
                 .iter()
                 .find(|b| {
-                    b.workload == wl
-                        && b.stream_packets == ld
-                        && ((b.query_clients > 0) == q)
+                    b.workload == wl && b.stream_packets == ld && ((b.query_clients > 0) == q)
                 })
                 .expect("bar exists")
         };

@@ -11,6 +11,7 @@ pub mod depth_conv;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod netfault;
 pub mod range_queries;
 pub mod servers_saved;
 
@@ -70,8 +71,7 @@ mod tests {
         let spec = ScenarioSpec {
             servers: 8,
             sources: 100,
-            ..ScenarioSpec::paper()
-                .with_phase_duration(SimDuration::from_mins(2))
+            ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(2))
         };
         let cfg = ClashConfig {
             capacity: 50.0,

@@ -105,6 +105,21 @@ fn measure(
 ///
 /// Propagates cluster errors.
 pub fn run(scale: f64, queries: usize) -> Result<RangeOutput, ClashError> {
+    run_seeded(scale, queries, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the
+/// hard-coded default seed).
+///
+/// # Errors
+///
+/// Propagates cluster errors.
+pub fn run_seeded(
+    scale: f64,
+    queries: usize,
+    seed: Option<u64>,
+) -> Result<RangeOutput, ClashError> {
+    let cluster_seed = seed.unwrap_or(31);
     let servers = ((1000.0 * scale) as usize).max(16);
     let sources = ((100_000.0 * scale) as usize).max(1000);
     // Capacity targets ~30% aggregate utilization: the spike splits a few
@@ -117,12 +132,18 @@ pub fn run(scale: f64, queries: usize) -> Result<RangeOutput, ClashError> {
         capacity: clash_config.capacity,
         ..ClashConfig::dht_baseline(12)
     };
-    let mut clash = heated(clash_config, servers, sources, 31);
-    let mut dht12 = heated(dht12_config, servers, sources, 31);
+    let mut clash = heated(clash_config, servers, sources, cluster_seed);
+    let mut dht12 = heated(dht12_config, servers, sources, cluster_seed);
     let mut rows = Vec::new();
     for range_depth in [4u32, 6, 8, 10] {
-        let clash_cost = measure(&mut clash, range_depth, queries, 101 + u64::from(range_depth))?;
-        let dht12_cost = measure(&mut dht12, range_depth, queries, 101 + u64::from(range_depth))?;
+        // Without an override the historical per-depth query seeds are
+        // kept verbatim; an override salts them so sweeps stay distinct.
+        let query_seed = match seed {
+            None => 101 + u64::from(range_depth),
+            Some(s) => s ^ (101 + u64::from(range_depth)),
+        };
+        let clash_cost = measure(&mut clash, range_depth, queries, query_seed)?;
+        let dht12_cost = measure(&mut dht12, range_depth, queries, query_seed)?;
         rows.push(RangeRow {
             range_depth,
             clash: clash_cost,

@@ -24,9 +24,13 @@ pub fn from_fig4(out: &Fig4Output) -> SaversOutput {
     let clash = &out.runs[0];
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
-        let Some(cp) = clash.phase(kind) else { continue };
+        let Some(cp) = clash.phase(kind) else {
+            continue;
+        };
         for baseline in &out.runs[1..] {
-            let Some(bp) = baseline.phase(kind) else { continue };
+            let Some(bp) = baseline.phase(kind) else {
+                continue;
+            };
             let savings = if bp.mean_active_servers > 0.0 {
                 100.0 * (1.0 - cp.mean_active_servers / bp.mean_active_servers)
             } else {
@@ -50,7 +54,17 @@ pub fn from_fig4(out: &Fig4Output) -> SaversOutput {
 ///
 /// Propagates scenario errors.
 pub fn run(scale: f64) -> Result<(Fig4Output, SaversOutput), ClashError> {
-    let fig4_out = fig4::run(scale)?;
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override (`None` keeps the paper
+/// scenario's hard-coded seed).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<(Fig4Output, SaversOutput), ClashError> {
+    let fig4_out = fig4::run_seeded(scale, seed)?;
     let savings = from_fig4(&fig4_out);
     Ok((fig4_out, savings))
 }
@@ -73,7 +87,13 @@ pub fn render(out: &SaversOutput) -> String {
     format!(
         "Servers saved by CLASH vs basic DHT (§7 claim: up to ~80%)\n{}",
         report::ascii_table(
-            &["workload", "baseline", "CLASH servers", "baseline servers", "savings %"],
+            &[
+                "workload",
+                "baseline",
+                "CLASH servers",
+                "baseline servers",
+                "savings %"
+            ],
             &rows,
         )
     )

@@ -17,6 +17,7 @@
 //! | §7 claim (~80% fewer servers) | `servers_saved` | [`experiments::servers_saved`] |
 //! | design-choice ablations | `ablation` | [`experiments::ablation`] |
 //! | live membership under churn | `churn` | [`experiments::churn`] |
+//! | latency / loss / partitions | `netfault` | [`experiments::netfault`] |
 //!
 //! The central type is [`driver::SimDriver`]: it plays a
 //! [`clash_workload::scenario::ScenarioSpec`] against a

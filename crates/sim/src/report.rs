@@ -89,12 +89,7 @@ pub fn write_csv<P: AsRef<Path>>(
     );
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| field(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     if let Some(parent) = path.as_ref().parent() {
@@ -200,6 +195,24 @@ pub fn out_dir_arg(args: &[String]) -> String {
     flag_value(args, "--out").unwrap_or_else(|| "results".to_owned())
 }
 
+/// Reads `--seed` as a root random seed (decimal or `0x`-prefixed hex).
+/// `None` means the experiment keeps its hard-coded default seed, so runs
+/// without the flag reproduce historical outputs exactly.
+///
+/// # Panics
+///
+/// Panics if the flag is present but unparsable (silently falling back to
+/// the default would corrupt a seed sweep).
+pub fn seed_arg(args: &[String]) -> Option<u64> {
+    flag_value(args, "--seed").map(|s| {
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.unwrap_or_else(|_| panic!("--seed must be a u64 (decimal or 0x hex), got {s:?}"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +268,28 @@ mod tests {
     }
 
     #[test]
+    fn seed_parsing() {
+        let args: Vec<String> = ["--seed", "42"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(seed_arg(&args), Some(42));
+        let hex: Vec<String> = ["--seed", "0xC1A5"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(seed_arg(&hex), Some(0xC1A5));
+        assert_eq!(seed_arg(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed must be a u64")]
+    fn bad_seed_panics() {
+        let args: Vec<String> = ["--seed", "banana"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        seed_arg(&args);
+    }
+
+    #[test]
     #[should_panic(expected = "--scale must be in")]
     fn bad_scale_panics() {
         let args: Vec<String> = ["--scale", "2.0"].iter().map(|s| (*s).to_owned()).collect();
@@ -273,7 +308,11 @@ mod tests {
         let lines: Vec<&str> = chart.lines().collect();
         // Max label on top row, zero at the bottom, legend last.
         assert!(lines[0].starts_with("      100 |"));
-        assert!(lines[0].ends_with('*'), "peak in the top row: {:?}", lines[0]);
+        assert!(
+            lines[0].ends_with('*'),
+            "peak in the top row: {:?}",
+            lines[0]
+        );
         assert!(lines[4].contains('*'), "zero in the bottom row");
         assert!(chart.contains("* = up"));
     }

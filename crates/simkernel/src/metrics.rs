@@ -305,6 +305,111 @@ impl Histogram {
     pub fn bucket_lo(&self, i: usize) -> f64 {
         self.lo + self.width * i as f64
     }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of all bucketed observations,
+    /// reported as the containing bucket's lower edge (conservative, and
+    /// exact for point masses such as an all-zero latency recorder).
+    /// Underflow observations resolve to `lo`; overflow observations to
+    /// the upper edge of the range. Returns `None` when nothing was
+    /// observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_over(
+            self.lo,
+            self.width,
+            self.underflow,
+            &self.buckets,
+            self.overflow,
+            q,
+        )
+    }
+
+    /// The `q`-quantile of the observations recorded since `earlier` — a
+    /// snapshot of this histogram taken at the start of a measurement
+    /// window. This is how the experiment driver reports *windowed*
+    /// latency percentiles from one cumulative histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has a different shape (range or bucket count),
+    /// if any of its counts exceed this histogram's (it must be an earlier
+    /// snapshot of the same recorder), or if `q` is outside `[0, 1]`.
+    pub fn quantile_since(&self, earlier: &Histogram, q: f64) -> Option<f64> {
+        self.quantiles_since(earlier, &[q])[0]
+    }
+
+    /// [`Histogram::quantile_since`] for several quantiles at once: the
+    /// bucket diff against the snapshot is computed a single time and
+    /// reused for every requested quantile (the driver asks for
+    /// p50/p95/p99 per sample window).
+    ///
+    /// # Panics
+    ///
+    /// See [`Histogram::quantile_since`].
+    pub fn quantiles_since(&self, earlier: &Histogram, qs: &[f64]) -> Vec<Option<f64>> {
+        assert!(
+            self.lo == earlier.lo
+                && self.width == earlier.width
+                && self.buckets.len() == earlier.buckets.len(),
+            "quantile_since requires an identically shaped snapshot"
+        );
+        let diff: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(&now, &then)| {
+                now.checked_sub(then)
+                    .expect("snapshot is not an earlier state of this histogram")
+            })
+            .collect();
+        let underflow = self
+            .underflow
+            .checked_sub(earlier.underflow)
+            .expect("snapshot is not an earlier state of this histogram");
+        let overflow = self
+            .overflow
+            .checked_sub(earlier.overflow)
+            .expect("snapshot is not an earlier state of this histogram");
+        qs.iter()
+            .map(|&q| quantile_over(self.lo, self.width, underflow, &diff, overflow, q))
+            .collect()
+    }
+}
+
+/// Shared quantile kernel over a bucket array plus out-of-range tallies.
+fn quantile_over(
+    lo: f64,
+    width: f64,
+    underflow: u64,
+    buckets: &[u64],
+    overflow: u64,
+    q: f64,
+) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
+    let total = underflow + overflow + buckets.iter().sum::<u64>();
+    if total == 0 {
+        return None;
+    }
+    // 1-based rank of the order statistic we want.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    if rank <= underflow {
+        return Some(lo);
+    }
+    let mut seen = underflow;
+    for (i, &count) in buckets.iter().enumerate() {
+        if count > 0 && rank <= seen + count {
+            return Some(lo + width * i as f64);
+        }
+        seen += count;
+    }
+    // Only overflow observations remain: report the upper range edge.
+    Some(lo + width * buckets.len() as f64)
 }
 
 /// A keyed family of counters (Figure 5's per-message-category counts).
@@ -374,7 +479,10 @@ mod tests {
         let hi = SimTime::from_secs(5);
         assert_eq!(ts.mean_in(lo, hi), Some(3.0)); // samples 2,3,4
         assert_eq!(ts.max_in(lo, hi), Some(4.0));
-        assert_eq!(ts.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)), None);
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)),
+            None
+        );
     }
 
     #[test]
@@ -460,6 +568,61 @@ mod tests {
         assert!((h.summary().mean() - 2.5).abs() < 1e-12);
         assert_eq!(h.summary().min(), Some(2.5));
         assert_eq!(h.summary().max(), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.observe(i as f64 + 0.5);
+        }
+        // Uniform 0.5..99.5: the q-quantile lands within one bucket width.
+        for &(q, expect) in &[(0.0, 0.0), (0.5, 50.0), (0.95, 95.0), (1.0, 100.0)] {
+            let got = h.quantile(q).unwrap();
+            assert!(
+                (got - expect).abs() <= 1.0,
+                "q={q}: got {got}, want ~{expect}"
+            );
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_handles_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.observe(-5.0); // underflow
+        }
+        for _ in 0..10 {
+            h.observe(50.0); // overflow
+        }
+        assert_eq!(h.quantile(0.25), Some(0.0));
+        assert_eq!(h.quantile(0.99), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_windowed_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for _ in 0..50 {
+            h.observe(10.0);
+        }
+        let snapshot = h.clone();
+        for _ in 0..50 {
+            h.observe(90.0);
+        }
+        // Cumulative median sits between the clusters; the windowed one
+        // sees only the late observations.
+        let windowed = h.quantile_since(&snapshot, 0.5).unwrap();
+        assert!((windowed - 91.0).abs() <= 1.0, "windowed median {windowed}");
+        assert_eq!(h.quantile_since(&h.clone(), 0.5), None, "empty window");
+    }
+
+    #[test]
+    #[should_panic(expected = "identically shaped")]
+    fn histogram_windowed_quantile_rejects_shape_mismatch() {
+        let a = Histogram::new(0.0, 100.0, 100);
+        let b = Histogram::new(0.0, 100.0, 50);
+        a.quantile_since(&b, 0.5);
     }
 
     #[test]

@@ -178,12 +178,7 @@ impl QueryIndex {
     pub fn extract_group(&mut self, group: Prefix) -> Vec<ContinuousQuery> {
         assert_eq!(group.width(), self.width, "group width mismatch");
         let mut extracted = Vec::new();
-        fn rec(
-            node: &mut Node,
-            group: Prefix,
-            depth: u32,
-            extracted: &mut Vec<ContinuousQuery>,
-        ) {
+        fn rec(node: &mut Node, group: Prefix, depth: u32, extracted: &mut Vec<ContinuousQuery>) {
             // Collect here if this node's prefix origin lies in the group:
             // for nodes above the group depth, the query's identifier key
             // (region origin, zero-padded) is in the group iff the group's

@@ -1,0 +1,288 @@
+//! The full latency/loss/partition transport.
+
+use std::collections::BTreeMap;
+
+use clash_simkernel::rng::{splitmix64_mix, DetRng};
+use clash_simkernel::time::SimDuration;
+
+use crate::policy::LinkPolicy;
+use crate::{Delivery, MessageClass, NodeAddr, Transport, TransportStats};
+
+/// Lazily created per-directed-link state: an independent RNG substream
+/// plus the link's sampled base propagation delay.
+#[derive(Debug)]
+struct LinkState {
+    rng: DetRng,
+    base: SimDuration,
+}
+
+/// The partition matrix: an assignment of nodes to islands. `None` means
+/// fully connected. Nodes not listed in any island belong to island 0.
+#[derive(Debug, Default)]
+struct PartitionMatrix {
+    islands: Option<BTreeMap<NodeAddr, u32>>,
+}
+
+impl PartitionMatrix {
+    fn sever(&mut self, islands: &[Vec<NodeAddr>]) {
+        let mut map = BTreeMap::new();
+        for (gi, island) in islands.iter().enumerate() {
+            for &node in island {
+                map.insert(node, gi as u32);
+            }
+        }
+        self.islands = Some(map);
+    }
+
+    fn heal(&mut self) {
+        self.islands = None;
+    }
+
+    fn is_active(&self) -> bool {
+        self.islands.is_some()
+    }
+
+    fn connected(&self, a: NodeAddr, b: NodeAddr) -> bool {
+        match &self.islands {
+            None => true,
+            Some(map) => map.get(&a).copied().unwrap_or(0) == map.get(&b).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A deterministic transport applying one [`LinkPolicy`] to every directed
+/// link, with independent per-link randomness and a severable partition
+/// matrix.
+///
+/// # Example
+///
+/// ```
+/// use clash_transport::{LinkPolicy, LinkTransport, MessageClass, Transport};
+///
+/// let mut t = LinkTransport::new(LinkPolicy::wan(), 42);
+/// let d = t.send(1, 2, MessageClass::Probe);
+/// assert!(d.is_delivered());
+/// assert!(d.latency().unwrap().as_secs_f64() >= 0.020); // ≥ 20 ms base
+/// ```
+#[derive(Debug)]
+pub struct LinkTransport {
+    policy: LinkPolicy,
+    root: DetRng,
+    links: BTreeMap<(NodeAddr, NodeAddr), LinkState>,
+    partition: PartitionMatrix,
+    stats: TransportStats,
+}
+
+impl LinkTransport {
+    /// Creates a transport over `policy`, with all randomness derived from
+    /// `seed`. The seed is independent of the cluster's protocol seed by
+    /// construction (callers derive it as a labelled substream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`LinkPolicy::validate`]).
+    pub fn new(policy: LinkPolicy, seed: u64) -> Self {
+        policy.validate();
+        LinkTransport {
+            policy,
+            root: DetRng::new(seed).substream("transport"),
+            links: BTreeMap::new(),
+            partition: PartitionMatrix::default(),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> LinkPolicy {
+        self.policy
+    }
+
+    fn link_state(&mut self, src: NodeAddr, dst: NodeAddr) -> &mut LinkState {
+        let policy = self.policy;
+        let root = &self.root;
+        self.links.entry((src, dst)).or_insert_with(|| {
+            // One independent substream per directed link, derived from the
+            // pair — stable no matter in which order links first carry
+            // traffic.
+            let pair = splitmix64_mix(src.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dst);
+            let mut rng = root.substream_indexed("link", pair);
+            let base = policy.latency.sample_base(&mut rng);
+            LinkState { rng, base }
+        })
+    }
+}
+
+impl Transport for LinkTransport {
+    fn send(&mut self, src: NodeAddr, dst: NodeAddr, class: MessageClass) -> Delivery {
+        if src == dst {
+            // Local delivery: free, no randomness drawn.
+            self.stats.messages += 1;
+            self.stats.per_class[class.index()] += 1;
+            return Delivery::Delivered {
+                latency: SimDuration::ZERO,
+                attempts: 1,
+            };
+        }
+        if !self.partition.connected(src, dst) {
+            let attempts = self.policy.max_retries + 1;
+            self.stats.unreachable += 1;
+            return Delivery::Unreachable { attempts };
+        }
+        let policy = self.policy;
+        let link = self.link_state(src, dst);
+        // Transient loss: each transmission drops independently; after
+        // max_retries losses the final transmission goes through.
+        let mut attempts = 1u32;
+        while attempts <= policy.max_retries && link.rng.chance(policy.drop_probability) {
+            attempts += 1;
+        }
+        let latency = policy.retry_timeout * u64::from(attempts - 1)
+            + policy.latency.sample(link.base, &mut link.rng);
+        self.stats.messages += 1;
+        self.stats.per_class[class.index()] += 1;
+        self.stats.retransmissions += u64::from(attempts - 1);
+        self.stats.total_latency_us += latency.as_micros();
+        Delivery::Delivered { latency, attempts }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TransportStats::default();
+    }
+
+    fn partition(&mut self, islands: &[Vec<NodeAddr>]) {
+        self.partition.sever(islands);
+    }
+
+    fn heal(&mut self) {
+        self.partition.heal();
+    }
+
+    fn is_partitioned(&self) -> bool {
+        self.partition.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LatencyModel;
+
+    fn drain(t: &mut LinkTransport, n: u64) -> Vec<Delivery> {
+        (0..n)
+            .map(|i| t.send(i % 8, (i + 1) % 8, MessageClass::Probe))
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_deliveries() {
+        let mut a = LinkTransport::new(LinkPolicy::lossy_wan(0.2), 11);
+        let mut b = LinkTransport::new(LinkPolicy::lossy_wan(0.2), 11);
+        assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LinkTransport::new(LinkPolicy::wan(), 1);
+        let mut b = LinkTransport::new(LinkPolicy::wan(), 2);
+        assert_ne!(drain(&mut a, 100), drain(&mut b, 100));
+    }
+
+    #[test]
+    fn link_base_is_stable_per_link() {
+        // Two messages on the same WAN link share the base propagation
+        // delay: both latencies are >= the base, and the base for a given
+        // link is the same regardless of traffic order elsewhere.
+        let mut t1 = LinkTransport::new(LinkPolicy::wan(), 5);
+        let first = t1.send(100, 200, MessageClass::Probe).latency().unwrap();
+        let mut t2 = LinkTransport::new(LinkPolicy::wan(), 5);
+        t2.send(7, 8, MessageClass::Probe); // unrelated traffic first
+        let second = t2.send(100, 200, MessageClass::Probe).latency().unwrap();
+        assert_eq!(
+            first, second,
+            "per-link substream must be order-independent"
+        );
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut t = LinkTransport::new(LinkPolicy::wan(), 3);
+        let d = t.send(9, 9, MessageClass::LoadReport);
+        assert_eq!(d.latency(), Some(SimDuration::ZERO));
+        assert_eq!(t.stats().messages, 1);
+    }
+
+    #[test]
+    fn loss_inflates_latency_and_counts_retries() {
+        let policy = LinkPolicy {
+            latency: LatencyModel::Zero,
+            drop_probability: 0.5,
+            retry_timeout: SimDuration::from_millis(100),
+            max_retries: 4,
+        };
+        let mut t = LinkTransport::new(policy, 17);
+        let mut max_attempts = 0;
+        for i in 0..2000u64 {
+            match t.send(i % 4, 1000, MessageClass::Probe) {
+                Delivery::Delivered { latency, attempts } => {
+                    assert!(attempts <= 5, "retry budget respected");
+                    assert_eq!(
+                        latency,
+                        SimDuration::from_millis(100) * u64::from(attempts - 1),
+                        "each retry charges one timeout"
+                    );
+                    max_attempts = max_attempts.max(attempts);
+                }
+                Delivery::Unreachable { .. } => panic!("loss never destroys messages"),
+            }
+        }
+        assert!(max_attempts > 1, "p=0.5 must force retransmissions");
+        let s = t.stats();
+        assert!(
+            s.retransmissions > 500,
+            "retries counted: {}",
+            s.retransmissions
+        );
+        let overhead = s.retry_overhead();
+        assert!(
+            (overhead - 1.0).abs() < 0.2,
+            "E[retries] ≈ 1 at p=0.5: {overhead}"
+        );
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let mut t = LinkTransport::new(LinkPolicy::lan(), 23);
+        t.partition(&[vec![1, 2], vec![3, 4]]);
+        assert!(t.is_partitioned());
+        assert!(t.send(1, 2, MessageClass::Probe).is_delivered());
+        assert!(!t.send(1, 3, MessageClass::Probe).is_delivered());
+        assert!(!t.send(4, 2, MessageClass::Probe).is_delivered());
+        // Unlisted nodes fall into island 0.
+        assert!(t.send(99, 1, MessageClass::Probe).is_delivered());
+        assert!(!t.send(99, 3, MessageClass::Probe).is_delivered());
+        assert_eq!(t.stats().unreachable, 3);
+        t.heal();
+        assert!(!t.is_partitioned());
+        assert!(t.send(1, 3, MessageClass::Probe).is_delivered());
+    }
+
+    #[test]
+    fn instant_policy_matches_instant_transport() {
+        use crate::InstantTransport;
+        let mut link = LinkTransport::new(LinkPolicy::instant(), 7);
+        let mut instant = InstantTransport::new();
+        for i in 0..200u64 {
+            assert_eq!(
+                link.send(i, i + 1, MessageClass::Handoff),
+                instant.send(i, i + 1, MessageClass::Handoff)
+            );
+        }
+        assert_eq!(link.stats().messages, instant.stats().messages);
+        assert_eq!(link.stats().total_latency_us, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Link policies: the latency, loss and retry parameters of a simulated
+//! network.
+
+use clash_simkernel::dist::Exponential;
+use clash_simkernel::rng::DetRng;
+use clash_simkernel::time::SimDuration;
+
+/// How per-message latency is generated on a link.
+///
+/// Every variant is sampled from the link's own deterministic RNG
+/// substream, so two links never share draws and adding traffic on one
+/// link never changes the latencies seen on another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// No latency at all (useful to isolate loss effects).
+    Zero,
+    /// The same fixed delay for every message on every link.
+    Constant(SimDuration),
+    /// Per-message delay uniform in `[lo, hi]` — a homogeneous LAN.
+    Uniform {
+        /// Minimum one-way delay.
+        lo: SimDuration,
+        /// Maximum one-way delay.
+        hi: SimDuration,
+    },
+    /// A heterogeneous WAN: each link draws a *base* propagation delay
+    /// uniform in `[base_lo, base_hi]` once (lazily, on first use), and
+    /// every message adds exponential queueing jitter with the given
+    /// mean. This is the model the `netfault` experiment labels "wan".
+    Wan {
+        /// Minimum per-link propagation delay.
+        base_lo: SimDuration,
+        /// Maximum per-link propagation delay.
+        base_hi: SimDuration,
+        /// Mean of the per-message exponential jitter.
+        jitter_mean: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples the per-link base delay (drawn once per link).
+    pub(crate) fn sample_base(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            LatencyModel::Zero | LatencyModel::Constant(_) | LatencyModel::Uniform { .. } => {
+                SimDuration::ZERO
+            }
+            LatencyModel::Wan {
+                base_lo, base_hi, ..
+            } => {
+                let span = base_hi.as_micros().saturating_sub(base_lo.as_micros());
+                let extra = if span == 0 {
+                    0
+                } else {
+                    rng.uniform_u64(span + 1)
+                };
+                SimDuration::from_micros(base_lo.as_micros() + extra)
+            }
+        }
+    }
+
+    /// Samples the per-message delay on top of `base`.
+    pub(crate) fn sample(&self, base: SimDuration, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            LatencyModel::Zero => SimDuration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                let span = hi.as_micros().saturating_sub(lo.as_micros());
+                let extra = if span == 0 {
+                    0
+                } else {
+                    rng.uniform_u64(span + 1)
+                };
+                SimDuration::from_micros(lo.as_micros() + extra)
+            }
+            LatencyModel::Wan { jitter_mean, .. } => {
+                let jitter = if jitter_mean.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_secs_f64(
+                        Exponential::with_mean(jitter_mean.as_secs_f64()).sample(rng),
+                    )
+                };
+                base + jitter
+            }
+        }
+    }
+}
+
+/// The full behavior of every link in a [`crate::LinkTransport`].
+///
+/// `drop_probability` models *transient* loss repaired by retransmission:
+/// each transmission is lost independently with probability `p`; a lost
+/// transmission costs `retry_timeout` of latency and one retransmission.
+/// After `max_retries` consecutive losses the next transmission is assumed
+/// to get through (the retry budget bounds the latency charged, it does
+/// not destroy messages — only a partition makes a destination
+/// unreachable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPolicy {
+    /// The latency model.
+    pub latency: LatencyModel,
+    /// Per-transmission loss probability, in `[0, 1)`.
+    pub drop_probability: f64,
+    /// Latency charged for each lost transmission before the retry.
+    pub retry_timeout: SimDuration,
+    /// Maximum retransmissions per message.
+    pub max_retries: u32,
+}
+
+impl LinkPolicy {
+    /// Zero latency, no loss — the [`crate::InstantTransport`] semantics
+    /// expressed as a policy (useful for differential tests).
+    pub fn instant() -> Self {
+        LinkPolicy {
+            latency: LatencyModel::Zero,
+            drop_probability: 0.0,
+            retry_timeout: SimDuration::ZERO,
+            max_retries: 0,
+        }
+    }
+
+    /// A homogeneous datacenter LAN: 0.2–2 ms per message, no loss.
+    pub fn lan() -> Self {
+        LinkPolicy {
+            latency: LatencyModel::Uniform {
+                lo: SimDuration::from_micros(200),
+                hi: SimDuration::from_millis(2),
+            },
+            drop_probability: 0.0,
+            retry_timeout: SimDuration::from_millis(20),
+            max_retries: 3,
+        }
+    }
+
+    /// A heterogeneous internet WAN: per-link base 20–120 ms plus 15 ms
+    /// mean jitter, no loss — the regime Gray's *Distributed Computing
+    /// Economics* argues dominates utility computing.
+    pub fn wan() -> Self {
+        LinkPolicy {
+            latency: LatencyModel::Wan {
+                base_lo: SimDuration::from_millis(20),
+                base_hi: SimDuration::from_millis(120),
+                jitter_mean: SimDuration::from_millis(15),
+            },
+            drop_probability: 0.0,
+            retry_timeout: SimDuration::from_millis(500),
+            max_retries: 5,
+        }
+    }
+
+    /// [`LinkPolicy::wan`] with per-transmission loss probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn lossy_wan(p: f64) -> Self {
+        let policy = LinkPolicy {
+            drop_probability: p,
+            ..LinkPolicy::wan()
+        };
+        policy.validate();
+        policy
+    }
+
+    /// Checks the policy's numeric ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is outside `[0, 1)` or non-finite, or
+    /// if a latency model's bounds are inverted (`hi < lo`) — which would
+    /// otherwise silently collapse to a constant delay via saturation.
+    pub fn validate(&self) {
+        assert!(
+            self.drop_probability.is_finite() && (0.0..1.0).contains(&self.drop_probability),
+            "drop probability must be in [0, 1), got {}",
+            self.drop_probability
+        );
+        match self.latency {
+            LatencyModel::Zero | LatencyModel::Constant(_) => {}
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency bounds inverted: {lo} > {hi}");
+            }
+            LatencyModel::Wan {
+                base_lo, base_hi, ..
+            } => {
+                assert!(
+                    base_lo <= base_hi,
+                    "wan base latency bounds inverted: {base_lo} > {base_hi}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_latency_stays_in_range() {
+        let model = LatencyModel::Uniform {
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_millis(3),
+        };
+        let mut rng = DetRng::new(7);
+        let base = model.sample_base(&mut rng);
+        assert!(base.is_zero());
+        for _ in 0..1000 {
+            let d = model.sample(base, &mut rng);
+            assert!(d >= SimDuration::from_millis(1) && d <= SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn wan_base_is_per_link_and_in_range() {
+        let model = LatencyModel::Wan {
+            base_lo: SimDuration::from_millis(20),
+            base_hi: SimDuration::from_millis(120),
+            jitter_mean: SimDuration::from_millis(15),
+        };
+        let mut rng = DetRng::new(9);
+        for _ in 0..100 {
+            let base = model.sample_base(&mut rng);
+            assert!(base >= SimDuration::from_millis(20));
+            assert!(base <= SimDuration::from_millis(120));
+            let d = model.sample(base, &mut rng);
+            assert!(d >= base, "jitter only adds");
+        }
+    }
+
+    #[test]
+    fn constant_and_zero_models() {
+        let mut rng = DetRng::new(1);
+        let c = LatencyModel::Constant(SimDuration::from_millis(4));
+        assert_eq!(
+            c.sample(SimDuration::ZERO, &mut rng),
+            SimDuration::from_millis(4)
+        );
+        let z = LatencyModel::Zero;
+        assert!(z.sample(SimDuration::ZERO, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        LinkPolicy::instant().validate();
+        LinkPolicy::lan().validate();
+        LinkPolicy::wan().validate();
+        LinkPolicy::lossy_wan(0.1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn certain_loss_rejected() {
+        LinkPolicy::lossy_wan(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_uniform_bounds_rejected() {
+        LinkPolicy {
+            latency: LatencyModel::Uniform {
+                lo: SimDuration::from_millis(5),
+                hi: SimDuration::from_millis(1),
+            },
+            ..LinkPolicy::lan()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_wan_bounds_rejected() {
+        LinkPolicy {
+            latency: LatencyModel::Wan {
+                base_lo: SimDuration::from_millis(100),
+                base_hi: SimDuration::from_millis(10),
+                jitter_mean: SimDuration::ZERO,
+            },
+            ..LinkPolicy::wan()
+        }
+        .validate();
+    }
+}

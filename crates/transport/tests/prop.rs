@@ -1,0 +1,94 @@
+//! Property-based tests for the transport's determinism and invariants.
+
+use clash_simkernel::time::SimDuration;
+use clash_transport::{Delivery, LatencyModel, LinkPolicy, LinkTransport, MessageClass, Transport};
+use proptest::prelude::*;
+
+fn policy(p_permille: u64, retries: u32) -> LinkPolicy {
+    LinkPolicy {
+        latency: LatencyModel::Wan {
+            base_lo: SimDuration::from_millis(5),
+            base_hi: SimDuration::from_millis(50),
+            jitter_mean: SimDuration::from_millis(3),
+        },
+        drop_probability: p_permille as f64 / 1000.0,
+        retry_timeout: SimDuration::from_millis(200),
+        max_retries: retries,
+    }
+}
+
+proptest! {
+    /// Same seed + same policy + same send sequence ⇒ identical outcomes
+    /// and stats, regardless of loss rate.
+    #[test]
+    fn transport_is_deterministic(
+        seed in 0u64..10_000,
+        p in 0u64..900,
+        retries in 0u32..8,
+        sends in prop::collection::vec((0u64..16, 0u64..16), 1..200),
+    ) {
+        let mut a = LinkTransport::new(policy(p, retries), seed);
+        let mut b = LinkTransport::new(policy(p, retries), seed);
+        for &(src, dst) in &sends {
+            prop_assert_eq!(
+                a.send(src, dst, MessageClass::Probe),
+                b.send(src, dst, MessageClass::Probe)
+            );
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Loss never destroys a message, attempts respect the retry budget,
+    /// and every retry shows up in the latency charged.
+    #[test]
+    fn loss_is_bounded_retry_not_destruction(
+        seed in 0u64..10_000,
+        p in 0u64..900,
+        retries in 0u32..8,
+        sends in prop::collection::vec((0u64..16, 0u64..16), 1..200),
+    ) {
+        let pol = policy(p, retries);
+        let mut t = LinkTransport::new(pol, seed);
+        let mut retransmissions = 0u64;
+        for &(src, dst) in &sends {
+            match t.send(src, dst, MessageClass::Probe) {
+                Delivery::Delivered { latency, attempts } => {
+                    prop_assert!(attempts >= 1 && attempts <= retries + 1);
+                    prop_assert!(latency >= pol.retry_timeout * u64::from(attempts - 1));
+                    retransmissions += u64::from(attempts - 1);
+                }
+                Delivery::Unreachable { .. } => {
+                    prop_assert!(false, "unpartitioned sends must deliver");
+                }
+            }
+        }
+        prop_assert_eq!(t.stats().retransmissions, retransmissions);
+        prop_assert_eq!(t.stats().messages, sends.len() as u64);
+    }
+
+    /// A partition blocks exactly the cross-island pairs; healing restores
+    /// full connectivity.
+    #[test]
+    fn partition_matrix_is_exact(
+        seed in 0u64..10_000,
+        split in 1usize..15,
+        sends in prop::collection::vec((0u64..16, 0u64..16), 1..100),
+    ) {
+        let mut t = LinkTransport::new(LinkPolicy::lan(), seed);
+        let left: Vec<u64> = (0..split as u64).collect();
+        let right: Vec<u64> = (split as u64..16).collect();
+        t.partition(&[left.clone(), right.clone()]);
+        for &(src, dst) in &sends {
+            let same_side = (src < split as u64) == (dst < split as u64);
+            prop_assert_eq!(
+                t.send(src, dst, MessageClass::Probe).is_delivered(),
+                same_side,
+                "src={} dst={} split={}", src, dst, split
+            );
+        }
+        t.heal();
+        for &(src, dst) in &sends {
+            prop_assert!(t.send(src, dst, MessageClass::Probe).is_delivered());
+        }
+    }
+}

@@ -47,4 +47,4 @@ pub mod source;
 pub use churn::{ChurnSpec, FlashCrowd};
 pub use scenario::{Phase, ScenarioSpec};
 pub use skew::{Workload, WorkloadKind};
-pub use source::{SourceModel, QueryClientModel};
+pub use source::{QueryClientModel, SourceModel};

@@ -170,7 +170,10 @@ impl ScenarioSpec {
                 return phase.workload;
             }
         }
-        self.phases.last().map(|p| p.workload).unwrap_or(WorkloadKind::A)
+        self.phases
+            .last()
+            .map(|p| p.workload)
+            .unwrap_or(WorkloadKind::A)
     }
 }
 

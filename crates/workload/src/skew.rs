@@ -112,9 +112,7 @@ impl Workload {
                 // C: one narrow dominant spike over a small floor,
                 // calibrated so the hottest DHT(6) bucket holds ≈ 30% of
                 // the total mass (→ the paper's ~25× capacity peak).
-                WorkloadKind::C => {
-                    0.5 + gaussian(v, center as f64, 1.5 * scale, 55.0)
-                }
+                WorkloadKind::C => 0.5 + gaussian(v, center as f64, 1.5 * scale, 55.0),
             })
             .collect();
         let dist = DiscreteDist::new(&weights);

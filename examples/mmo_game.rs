@@ -19,11 +19,7 @@ fn servers_in_use(cluster: &ClashCluster) -> usize {
     cluster
         .server_ids()
         .into_iter()
-        .filter(|&id| {
-            cluster
-                .server(id)
-                .is_some_and(|s| s.current_load() > 1.0)
-        })
+        .filter(|&id| cluster.server(id).is_some_and(|s| s.current_load() > 1.0))
         .count()
 }
 

@@ -82,8 +82,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Vehicles near each other share servers (content locality): check
     // two adjacent downtown cells end up in the same key group or on
     // sibling groups.
-    let a = cluster.oracle_locate(encoder.encode(&GridPoint::new(5, 5))?).expect("covered");
-    let b = cluster.oracle_locate(encoder.encode(&GridPoint::new(5, 6))?).expect("covered");
+    let a = cluster
+        .oracle_locate(encoder.encode(&GridPoint::new(5, 5))?)
+        .expect("covered");
+    let b = cluster
+        .oracle_locate(encoder.encode(&GridPoint::new(5, 6))?)
+        .expect("covered");
     println!(
         "adjacent cells (5,5) and (5,6): groups {} and {} (servers {} and {})",
         a.1, b.1, a.0, b.0

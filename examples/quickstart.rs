@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.merges.len()
     );
     for s in &report.splits {
-        println!("  split {} on {} (right child -> {})", s.group, s.server, s.right_child_server);
+        println!(
+            "  split {} on {} (right child -> {})",
+            s.group, s.server, s.right_child_server
+        );
     }
 
     // The active groups still partition the key space...

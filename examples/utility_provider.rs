@@ -23,7 +23,10 @@ fn tenant_key(tenant: u64, rng: &mut DetRng) -> Key {
     // Tenant bit on top, activity clustered in a few sub-regions.
     let region = rng.uniform_u64(4) << 4;
     let detail = rng.uniform_u64(16);
-    Key::from_bits_truncated((tenant << 7) | region | detail, 8.try_into().expect("8 is valid"))
+    Key::from_bits_truncated(
+        (tenant << 7) | region | detail,
+        8.try_into().expect("8 is valid"),
+    )
 }
 
 fn tenant_servers(cluster: &ClashCluster, tenant: u64) -> usize {
@@ -32,10 +35,10 @@ fn tenant_servers(cluster: &ClashCluster, tenant: u64) -> usize {
         .into_iter()
         .filter(|&id| {
             cluster.server(id).is_some_and(|s| {
-                s.table()
-                    .active_groups()
-                    .any(|e| e.group.pattern() >> (e.group.depth().max(1) - 1) == tenant
-                        && e.load.data_rate > 0.5)
+                s.table().active_groups().any(|e| {
+                    e.group.pattern() >> (e.group.depth().max(1) - 1) == tenant
+                        && e.load.data_rate > 0.5
+                })
             })
         })
         .count()
@@ -67,8 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..4 {
         cluster.run_load_check()?;
     }
-    let day = (tenant_servers(&cluster, FLEET), tenant_servers(&cluster, CHAT));
-    println!("daytime:  FLEET on {} servers, CHAT on {} servers", day.0, day.1);
+    let day = (
+        tenant_servers(&cluster, FLEET),
+        tenant_servers(&cluster, CHAT),
+    );
+    println!(
+        "daytime:  FLEET on {} servers, CHAT on {} servers",
+        day.0, day.1
+    );
 
     // Evening: FLEET parks (rates drop), CHAT lights up.
     for &sid in &fleet_ids {
@@ -85,8 +94,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..6 {
         cluster.run_load_check()?;
     }
-    let evening = (tenant_servers(&cluster, FLEET), tenant_servers(&cluster, CHAT));
-    println!("evening:  FLEET on {} servers, CHAT on {} servers", evening.0, evening.1);
+    let evening = (
+        tenant_servers(&cluster, FLEET),
+        tenant_servers(&cluster, CHAT),
+    );
+    println!(
+        "evening:  FLEET on {} servers, CHAT on {} servers",
+        evening.0, evening.1
+    );
 
     assert!(
         evening.1 > day.1,

@@ -9,6 +9,7 @@
 //! | [`keyspace`] | identifier keys, prefixes/key groups, `Shape()`, covers (paper §3–4) |
 //! | [`chord`] | the simulated Chord base DHT: `Map()` routing (paper §2, §5) |
 //! | [`simkernel`] | deterministic RNG substreams, distributions, metrics |
+//! | [`transport`] | virtual-time message transport: latency, loss, partitions |
 //! | [`workload`] | the paper's §6 workloads A–D and arrival scenarios |
 //! | [`streamquery`] | continuous queries over placed streams (§6 application) |
 //! | [`core`] | the protocol: `ServerTable`, split/merge, depth search, cluster harness (§4–5) |
@@ -34,4 +35,5 @@ pub use clash_keyspace as keyspace;
 pub use clash_sim as sim;
 pub use clash_simkernel as simkernel;
 pub use clash_streamquery as streamquery;
+pub use clash_transport as transport;
 pub use clash_workload as workload;

@@ -142,7 +142,10 @@ fn query_state_follows_groups_through_splits() {
         let key = encoder.encode(&cell).unwrap();
         let hits = dep.deliver(key);
         // The south-east quadrant query (pattern 11, id 3) must match.
-        assert!(hits.contains(&3), "packet at {cell:?} missed the SE dispatcher");
+        assert!(
+            hits.contains(&3),
+            "packet at {cell:?} missed the SE dispatcher"
+        );
         // Region membership matches the query definitions exactly.
         if Prefix::parse("1101*", 8).unwrap().contains(key) {
             assert!(hits.contains(&101));

@@ -148,7 +148,9 @@ fn elastic_capacity_under_sustained_load() {
     assert_eq!(cluster.server_count(), 12);
     // One crash amid the growth; the fleet absorbs it.
     let ids = cluster.server_ids();
-    cluster.fail_server(ids[rng.uniform_index(ids.len())]).unwrap();
+    cluster
+        .fail_server(ids[rng.uniform_index(ids.len())])
+        .unwrap();
 
     // Keys keep churning across the membership changes.
     for s in 0..next_source {

@@ -13,8 +13,7 @@ fn test_spec() -> ScenarioSpec {
         sources: 4000,
         query_clients: 200,
         mean_query_lifetime: SimDuration::from_mins(5),
-        ..ScenarioSpec::paper()
-            .with_phase_duration(SimDuration::from_mins(20))
+        ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(20))
     }
 }
 
@@ -54,7 +53,10 @@ fn full_scenario_reproduces_paper_shape() {
     let m = result.final_messages;
     assert!(m.probes > 0 && m.probe_messages >= m.probes);
     assert!(m.split_messages > 0);
-    assert!(m.locates >= 4000, "every source/query locates at least once");
+    assert!(
+        m.locates >= 4000,
+        "every source/query locates at least once"
+    );
 }
 
 #[test]
@@ -82,8 +84,7 @@ fn dht24_baseline_stays_memory_bounded_under_churn() {
         servers: 20,
         sources: 1000,
         mean_stream_packets: 20.0, // very fast key churn
-        ..ScenarioSpec::paper()
-            .with_phase_duration(SimDuration::from_mins(10))
+        ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(10))
     };
     let config = ClashConfig {
         capacity: 500.0,
@@ -94,16 +95,19 @@ fn dht24_baseline_stays_memory_bounded_under_churn() {
     assert_eq!(result.splits, 0);
     // With 24-bit keys and 1000 sources, live groups ≈ live sources; the
     // time series active-server counts stay sane throughout.
-    assert!(result
-        .samples
-        .iter()
-        .all(|r| r.active_servers <= 20));
+    assert!(result.samples.iter().all(|r| r.active_servers <= 20));
 }
 
 #[test]
 fn deterministic_across_identical_runs() {
-    let r1 = SimDriver::new(test_config(), test_spec()).unwrap().run().unwrap();
-    let r2 = SimDriver::new(test_config(), test_spec()).unwrap().run().unwrap();
+    let r1 = SimDriver::new(test_config(), test_spec())
+        .unwrap()
+        .run()
+        .unwrap();
+    let r2 = SimDriver::new(test_config(), test_spec())
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(r1.samples, r2.samples);
     assert_eq!(r1.final_messages, r2.final_messages);
     assert_eq!(r1.splits, r2.splits);
@@ -115,11 +119,13 @@ fn different_seeds_differ_but_share_shape() {
         seed: 777,
         ..test_spec()
     };
-    let r1 = SimDriver::new(test_config(), test_spec()).unwrap().run().unwrap();
+    let r1 = SimDriver::new(test_config(), test_spec())
+        .unwrap()
+        .run()
+        .unwrap();
     let r2 = SimDriver::new(test_config(), spec2).unwrap().run().unwrap();
     assert_ne!(
-        r1.final_messages.probe_messages,
-        r2.final_messages.probe_messages,
+        r1.final_messages.probe_messages, r2.final_messages.probe_messages,
         "different seeds should differ in detail"
     );
     // ...but both show the C-phase deepening (the paper's key result).

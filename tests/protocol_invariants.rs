@@ -50,7 +50,9 @@ fn random_walk_preserves_all_invariants() {
             }
             // Query churn.
             7 => {
-                cluster.attach_query(next_id, key(rng.uniform_u64(256))).unwrap();
+                cluster
+                    .attach_query(next_id, key(rng.uniform_u64(256)))
+                    .unwrap();
                 live_queries.push(next_id);
                 next_id += 1;
             }

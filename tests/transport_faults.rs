@@ -1,0 +1,132 @@
+//! Integration tests for the virtual-time transport (PR: clash-transport).
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Equivalence** — a cluster over the default [`InstantTransport`]
+//!    reproduces the *exact* `MessageStats` the pre-transport direct-call
+//!    code produced on the Figure-4 scenario (constants captured from the
+//!    seed code before the transport existed). Any drift means the
+//!    transport leaked into protocol behavior.
+//! 2. **Determinism** — same seed + same `LinkPolicy` ⇒ identical
+//!    `RunResult`, sample-for-sample, including transport stats.
+
+use clash_core::cluster::MessageStats;
+use clash_core::config::ClashConfig;
+use clash_sim::driver::SimDriver;
+use clash_simkernel::time::SimDuration;
+use clash_transport::{LinkPolicy, LinkTransport};
+use clash_workload::scenario::ScenarioSpec;
+
+/// The Figure-4-shaped scenario the equivalence constants were captured
+/// on: 16 servers, 300 sources, 20 query clients, 5-minute A/B/C phases,
+/// 60-second load checks and samples, capacity 60.
+fn pin_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        servers: 16,
+        sources: 300,
+        query_clients: 20,
+        load_check_period: SimDuration::from_secs(60),
+        sample_period: SimDuration::from_secs(60),
+        ..ScenarioSpec::paper().with_phase_duration(SimDuration::from_mins(5))
+    }
+}
+
+fn pin_config() -> ClashConfig {
+    ClashConfig {
+        capacity: 60.0,
+        ..ClashConfig::paper()
+    }
+}
+
+/// `MessageStats` of the pre-transport direct-call code on `pin_spec()`,
+/// captured verbatim from the seed implementation. The default
+/// (instant-transport) cluster must reproduce every field bit-for-bit.
+const PINNED: MessageStats = MessageStats {
+    probes: 1267,
+    probe_messages: 4674,
+    locates: 613,
+    split_messages: 870,
+    merge_messages: 0,
+    report_messages: 1248,
+    state_transfer_messages: 75,
+    redirect_messages: 180,
+    splits: 244,
+    merges: 0,
+    accept_keygroups: 201,
+    self_mapped_retries: 43,
+    handoff_messages: 0,
+    joins: 0,
+    leaves: 0,
+};
+
+#[test]
+fn instant_transport_reproduces_direct_call_message_stats() {
+    let result = SimDriver::new(pin_config(), pin_spec())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        result.final_messages, PINNED,
+        "InstantTransport must be bit-for-bit equivalent to the \
+         pre-transport direct-call path"
+    );
+    assert_eq!(result.samples.len(), 15);
+    // The instant transport charges no time: every windowed percentile
+    // is exactly zero.
+    assert!(result
+        .samples
+        .iter()
+        .all(|r| r.locate_p50_ms == 0.0 && r.locate_p99_ms == 0.0));
+}
+
+#[test]
+fn same_seed_same_link_policy_same_run_result() {
+    let run = || {
+        let spec = pin_spec();
+        let transport = Box::new(LinkTransport::new(LinkPolicy::lossy_wan(0.05), spec.seed));
+        SimDriver::with_transport(pin_config(), spec, "CLASH/faulty".to_owned(), transport)
+            .unwrap()
+            .run_with_cluster()
+            .unwrap()
+    };
+    let (r1, c1) = run();
+    let (r2, c2) = run();
+    assert_eq!(r1.samples, r2.samples, "sampled series must be identical");
+    assert_eq!(r1.final_messages, r2.final_messages);
+    assert_eq!(r1.events, r2.events);
+    assert_eq!(
+        c1.transport_stats(),
+        c2.transport_stats(),
+        "every retransmission and latency draw must replay identically"
+    );
+    // And the lossy run still makes the same protocol decisions as the
+    // pinned direct-call path.
+    assert_eq!(r1.final_messages, PINNED);
+    assert!(c1.transport_stats().retransmissions > 0);
+}
+
+#[test]
+fn transport_seed_changes_latency_without_touching_protocol() {
+    let run = |tseed: u64| {
+        let spec = pin_spec();
+        let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), tseed));
+        SimDriver::with_transport(pin_config(), spec, "CLASH/wan".to_owned(), transport)
+            .unwrap()
+            .run_with_cluster()
+            .unwrap()
+    };
+    let (r1, c1) = run(1);
+    let (r2, c2) = run(2);
+    assert_eq!(r1.final_messages, r2.final_messages);
+    assert_eq!(r1.final_messages, PINNED);
+    assert_ne!(
+        c1.transport_stats().total_latency_us,
+        c2.transport_stats().total_latency_us,
+        "different transport seeds must draw different link latencies"
+    );
+    assert_eq!(
+        c1.transport_stats().messages,
+        c2.transport_stats().messages,
+        "but carry exactly the same envelopes"
+    );
+}

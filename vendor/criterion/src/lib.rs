@@ -100,7 +100,8 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(20));
-        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let per_batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
 
         let mut mean_sum = Duration::ZERO;
         let mut min = Duration::MAX;
