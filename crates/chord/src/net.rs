@@ -292,6 +292,32 @@ impl SimNet {
             .unwrap_or_else(|| node.id())
     }
 
+    /// The first `r` distinct *alive* ring successors of `id`, in
+    /// successor-list order (nearest first), excluding `id` itself. This
+    /// is the node's own routing state — the replica set CLASH's
+    /// successor-list replication places key-group state on — so it can
+    /// lag ground truth between maintenance rounds, exactly as a real
+    /// deployment's would. Returns fewer than `r` entries on small rings
+    /// and an empty vector for unknown nodes.
+    pub fn alive_successors(&self, id: ChordId, r: usize) -> Vec<ChordId> {
+        if r == 0 {
+            return Vec::new();
+        }
+        let Some(node) = self.nodes.get(&id.value()) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ChordId> = Vec::with_capacity(r);
+        for &s in node.successor_list() {
+            if s != id && self.is_alive(s) && !out.contains(&s) {
+                out.push(s);
+                if out.len() == r {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Routed lookup with statistics recording — the `Map()` operation
     /// CLASH builds on (§4 of the paper).
     pub fn find_successor(&mut self, start: ChordId, h: u64) -> LookupResult {
@@ -827,6 +853,27 @@ mod tests {
             assert_eq!(Some(r.owner), net.owner_of(h));
             assert_ne!(r.owner, leaver);
         }
+    }
+
+    #[test]
+    fn alive_successors_follow_ring_order_and_skip_corpses() {
+        let mut net = stable_net(12, 29);
+        let ids = net.node_ids();
+        let id = ids[4];
+        let succs = net.alive_successors(id, 3);
+        assert_eq!(succs, vec![ids[5], ids[6], ids[7]]);
+        // Kill the immediate successor: it drops out, the list extends.
+        net.fail(ids[5]);
+        let succs = net.alive_successors(id, 3);
+        assert_eq!(succs, vec![ids[6], ids[7], ids[8]]);
+        // r = 0 asks for nothing and gets nothing.
+        assert!(net.alive_successors(id, 0).is_empty());
+        // Small rings cap the list; unknown nodes get nothing.
+        let mut tiny = stable_net(2, 30);
+        let a = tiny.node_ids()[0];
+        assert_eq!(tiny.alive_successors(a, 4).len(), 1);
+        tiny.fail(tiny.node_ids()[1]);
+        assert!(tiny.alive_successors(a, 4).is_empty());
     }
 
     #[test]

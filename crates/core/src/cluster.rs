@@ -22,7 +22,8 @@
 //! The full-scale experiment driver (`clash-sim`) wraps this type with
 //! simulated time, workload generators and metric recording.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use clash_chord::id::ChordId;
 use clash_chord::net::SimNet;
@@ -40,6 +41,7 @@ use crate::error::ClashError;
 use crate::latency::{ms, LatencyMetrics};
 use crate::load::{GroupLoad, LoadLevel};
 use crate::messages::ReleaseResponse;
+use crate::replication::ReplicaRecord;
 use crate::server::ClashServer;
 use crate::table::TableEntry;
 use crate::ServerId;
@@ -99,6 +101,11 @@ pub struct MessageStats {
     pub joins: u64,
     /// Servers that left gracefully (drained).
     pub leaves: u64,
+    /// Successor-list replication traffic: `REPLICATE_KEYGROUP` seeds and
+    /// invalidations, `ACK_REPLICA` responses, and the per-group state
+    /// fetch a crash recovery pays to promote a replica. Zero when the
+    /// replication factor is 0.
+    pub replication_messages: u64,
 }
 
 impl MessageStats {
@@ -113,6 +120,7 @@ impl MessageStats {
             + self.report_messages
             + self.redirect_messages
             + self.handoff_messages
+            + self.replication_messages
     }
 
     /// Control messages counting only CLASH-protocol exchanges (request +
@@ -129,6 +137,7 @@ impl MessageStats {
             + self.report_messages
             + self.redirect_messages
             + self.handoff_messages
+            + self.replication_messages
     }
 
     /// All messages including state transfer — Figure 5's case (B).
@@ -148,13 +157,36 @@ pub struct SplitRecord {
     pub right_child_server: ServerId,
 }
 
-/// Outcome of a server failure and recovery ([`ClashCluster::fail_server`]).
+/// Outcome of a server failure and recovery ([`ClashCluster::fail_server`]
+/// / [`ClashCluster::fail_servers`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureReport {
-    /// The server that crashed.
+    /// The (first) server that crashed.
     pub failed: ServerId,
-    /// Active key groups re-homed onto ring successors.
+    /// How many servers crashed in this event (1 for a single crash,
+    /// more for a correlated burst).
+    pub servers_failed: usize,
+    /// Active key groups re-homed onto ring successors (recovered plus
+    /// re-rooted-empty, so the active cover stays a partition).
     pub groups_reassigned: usize,
+    /// Groups recovered with their full ledger state — from the oracle
+    /// when the replication factor is 0 (the historical crutch), from a
+    /// promoted successor replica otherwise.
+    pub groups_recovered: usize,
+    /// Groups whose owner *and* every live replica died (or whose state
+    /// drifted away behind a partition): re-rooted empty, with their
+    /// attached sources and queries truthfully reported lost below.
+    /// Always 0 when the replication factor is 0.
+    pub groups_lost: usize,
+    /// Groups whose replicas all sit behind an active network partition:
+    /// recovery is deferred (the group leaves the active cover) and
+    /// retried at each load check until the partition heals.
+    pub groups_deferred: usize,
+    /// Stream sources lost with unrecoverable groups (their clients must
+    /// re-attach from scratch).
+    pub sources_lost: usize,
+    /// Continuous queries lost with unrecoverable groups.
+    pub queries_lost: usize,
     /// Surviving entries whose parent pointer died and became roots.
     pub orphaned_parents: usize,
     /// Surviving split entries whose right-child pointer was re-pointed.
@@ -197,6 +229,14 @@ pub struct LeaveReport {
     pub stabilization_rounds: usize,
 }
 
+/// A crash recovery deferred behind a partition: where the surviving
+/// replicas were seeded from, and whether a single crash stranded it.
+#[derive(Debug, Clone, Copy)]
+struct PendingRecovery {
+    old_owner: ServerId,
+    single_crash: bool,
+}
+
 /// Internal tally of one entry-migration batch.
 struct MigrationTally {
     active_groups: usize,
@@ -236,6 +276,22 @@ pub struct LoadCheckReport {
     pub merges: Vec<MergeRecord>,
     /// Merge attempts refused by the child (stale report).
     pub refusals: u64,
+    /// Partition-deferred crash recoveries completed this check (the
+    /// replicas became reachable again and were promoted).
+    pub recoveries_completed: u64,
+    /// Deferred recoveries abandoned this check because every replica
+    /// holder has since died: the groups were re-rooted empty.
+    pub recoveries_lost: u64,
+    /// Subset of [`LoadCheckReport::recoveries_lost`] whose originating
+    /// crash was a *single*-server failure (availability experiments pin
+    /// this at 0 for any replication factor ≥ 1).
+    pub recoveries_lost_single: u64,
+    /// Sources dropped while resolving deferred recoveries this check
+    /// (stranded by an abandoned group, or reconciled away because a
+    /// partition starved the promoted replica's write-through).
+    pub recovery_sources_lost: u64,
+    /// Queries dropped while resolving deferred recoveries this check.
+    pub recovery_queries_lost: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -289,6 +345,19 @@ pub struct ClashCluster {
     max_splits_per_check: u32,
     /// Safety cap on merges per server per load check.
     max_merges_per_check: u32,
+    /// Crash recoveries deferred behind a network partition: the group
+    /// (currently absent from the active cover) mapped to its dead owner
+    /// and the kind of crash that stranded it, whose surviving replicas
+    /// must become reachable before promotion. Retried at every load
+    /// check; always empty without replication.
+    pending_recovery: BTreeMap<Prefix, PendingRecovery>,
+    /// True while crash recovery runs — any oracle (`global_index`) read
+    /// in that window is counted below. With replication enabled the
+    /// replica-promotion path must keep the counter at zero; tests and
+    /// the availability experiment enforce it.
+    recovery_active: Cell<bool>,
+    /// Oracle reads observed during crash recovery (see above).
+    oracle_reads_in_recovery: Cell<u64>,
 }
 
 impl ClashCluster {
@@ -349,6 +418,9 @@ impl ClashCluster {
             latency: LatencyMetrics::new(),
             max_splits_per_check: 64,
             max_merges_per_check: 64,
+            pending_recovery: BTreeMap::new(),
+            recovery_active: Cell::new(false),
+            oracle_reads_in_recovery: Cell::new(0),
         };
         if cluster.config.splitting_enabled {
             cluster.bootstrap_initial_groups()?;
@@ -359,6 +431,7 @@ impl ClashCluster {
     fn bootstrap_initial_groups(&mut self) -> Result<(), ClashError> {
         let depth = self.config.initial_depth;
         let width = self.config.key_width;
+        let mut seeded = Vec::new();
         for pattern in 0..(1u64 << depth) {
             let group = Prefix::new(pattern, depth, width)?;
             let owner = self.map_group(group);
@@ -368,15 +441,39 @@ impl ClashCluster {
                 .bootstrap_root(group)?;
             self.global_index.insert(group, owner);
             self.ledgers.insert(group, GroupLedger::default());
+            seeded.push((group, owner));
+        }
+        for (group, owner) in seeded {
+            self.ensure_replicas(group, owner);
         }
         Ok(())
     }
 
-    /// `Map(f(virtual key))` by ground truth (no hop accounting) — used
-    /// for bootstrap and verification.
+    /// `Map(f(virtual key))` by ground truth (no hop accounting) — the
+    /// DHT's own placement function, used for bootstrap, membership
+    /// handoffs and crash re-homing (a real deployment would route a
+    /// lookup; the destination is identical).
     fn map_group(&self, group: Prefix) -> ServerId {
         let h = self.hasher.hash_key(group.virtual_key());
         self.net.owner_of(h).expect("ring is non-empty")
+    }
+
+    /// Every read of the global index funnels through this guard so the
+    /// replica-based crash recovery can *prove* it never consults the
+    /// oracle: reads while recovery is active are counted, and the
+    /// replication tests pin the counter at zero.
+    fn count_oracle_read(&self) {
+        if self.recovery_active.get() {
+            self.oracle_reads_in_recovery
+                .set(self.oracle_reads_in_recovery.get() + 1);
+        }
+    }
+
+    /// The oracle's owner for `group` (counted; see
+    /// [`ClashCluster::recovery_oracle_reads`]).
+    fn oracle_owner(&self, group: Prefix) -> Option<ServerId> {
+        self.count_oracle_read();
+        self.global_index.get(group).copied()
     }
 
     // ----- accessors ---------------------------------------------------
@@ -419,6 +516,38 @@ impl ClashCluster {
     /// callers can skip percentile bookkeeping entirely.
     pub fn transport_is_instant(&self) -> bool {
         self.transport.is_instant()
+    }
+
+    /// Oracle (`global_index`) reads observed while crash recovery was in
+    /// progress, cumulative since construction. With
+    /// [`crate::config::ClashConfig::replication_factor`] `> 0` the
+    /// replica-promotion recovery never touches the oracle, so this stays
+    /// 0 — the no-crutch guarantee the replication tests and the
+    /// availability experiment pin.
+    pub fn recovery_oracle_reads(&self) -> u64 {
+        self.oracle_reads_in_recovery.get()
+    }
+
+    /// Crash recoveries currently deferred behind a network partition.
+    pub fn pending_recoveries(&self) -> usize {
+        self.pending_recovery.len()
+    }
+
+    /// True if `source_id` is currently attached. Sources die when their
+    /// group is lost in an unrecoverable crash, so long-running drivers
+    /// check before re-keying a stream.
+    pub fn has_source(&self, source_id: u64) -> bool {
+        self.sources.contains_key(&source_id)
+    }
+
+    /// True if `query_id` is currently attached (see
+    /// [`ClashCluster::has_source`]).
+    pub fn has_query(&self, query_id: u64) -> bool {
+        self.queries.contains_key(&query_id)
+    }
+
+    fn replication_enabled(&self) -> bool {
+        self.config.replication_factor > 0
     }
 
     /// Severs the network into islands of servers: protocol messages
@@ -520,6 +649,7 @@ impl ClashCluster {
 
     /// The global set of active groups as a prefix cover (the oracle).
     pub fn global_cover(&self) -> PrefixCover {
+        self.count_oracle_read();
         let mut cover = PrefixCover::new(self.config.key_width);
         for p in self.global_index.prefixes() {
             cover.insert(p).expect("global index must be prefix-free");
@@ -544,6 +674,7 @@ impl ClashCluster {
 
     /// Ground-truth owner of a key (oracle; no messages).
     pub fn oracle_locate(&self, key: Key) -> Option<(ServerId, Prefix)> {
+        self.count_oracle_read();
         self.global_index
             .longest_prefix_match(key)
             .map(|(p, &s)| (s, p))
@@ -633,6 +764,7 @@ impl ClashCluster {
             server.bootstrap_root(group)?;
             self.global_index.insert(group, lookup.owner);
             self.ledgers.insert(group, GroupLedger::default());
+            self.ensure_replicas(group, lookup.owner);
         }
         Ok(Placement {
             server: lookup.owner,
@@ -729,7 +861,8 @@ impl ClashCluster {
             return Ok(());
         }
         self.ledgers.remove(&group);
-        if let Some(&owner) = self.global_index.get(group) {
+        if let Some(owner) = self.oracle_owner(group) {
+            self.invalidate_replicas(group, owner);
             self.global_index.remove(group);
             let server = self
                 .servers
@@ -833,9 +966,14 @@ impl ClashCluster {
     }
 
     fn push_group_load(&mut self, group: Prefix) -> Result<(), ClashError> {
-        let owner = *self
-            .global_index
-            .get(group)
+        if self.pending_recovery.contains_key(&group) {
+            // The group is waiting for a partition-deferred promotion: it
+            // has no live owner to push to. The ledger update stands and
+            // is reconciled when the group comes back.
+            return Ok(());
+        }
+        let owner = self
+            .oracle_owner(group)
             .ok_or(ClashError::UnknownGroup { group })?;
         let load = self
             .ledgers
@@ -845,7 +983,214 @@ impl ClashCluster {
         self.servers
             .get_mut(&owner.value())
             .ok_or(ClashError::UnknownServer { server: owner })?
-            .set_group_load(group, load)
+            .set_group_load(group, load)?;
+        if self.replication_enabled() {
+            self.refresh_replica_payloads(group, owner);
+        }
+        Ok(())
+    }
+
+    // ----- successor-list replication (beyond the paper) ----------------
+    //
+    // With `replication_factor` r > 0, every active key group's entry and
+    // ledger is mirrored on the owner's first r alive ring successors
+    // (the owner's own successor list — the classic Chord placement).
+    // Placement changes are explicit, charged `REPLICATE_KEYGROUP` /
+    // `ACK_REPLICA` exchanges; payload freshness piggybacks on the
+    // data-plane traffic the harness already aggregates analytically
+    // (every ledger mutation refreshes reachable holders for free, the
+    // way a real store ships write deltas with the stream itself).
+    // Partitions defer placement work exactly like load reports: an
+    // unreachable holder is simply skipped and re-seeded by the periodic
+    // sync after healing.
+
+    /// The current ledger of `group` as a replica payload.
+    fn replica_payload(&self, group: Prefix, owner: ServerId) -> ReplicaRecord {
+        let ledger = self.ledgers.get(&group);
+        ReplicaRecord {
+            owner,
+            sources: ledger.map(|l| l.sources.clone()).unwrap_or_default(),
+            queries: ledger.map(|l| l.queries.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Brings `group`'s replica set up to the owner's current successor
+    /// list: seeds missing holders (one charged `REPLICATE_KEYGROUP` +
+    /// `ACK_REPLICA` round trip each) and invalidates holders that fell
+    /// out of the set. Holders already seeded are left alone — their
+    /// payloads are kept fresh by the write-through refresh. Unreachable
+    /// holders are skipped (soft state; retried next period).
+    fn ensure_replicas(&mut self, group: Prefix, owner: ServerId) {
+        if !self.replication_enabled() {
+            return;
+        }
+        // Owning the primary supersedes any copy this server once held as
+        // a ring successor of a previous owner.
+        self.servers
+            .get_mut(&owner.value())
+            .expect("owner is a live server")
+            .replica_store_mut()
+            .drop_held(group);
+        let desired = self
+            .net
+            .alive_successors(owner, self.config.replication_factor);
+        let desired_len = desired.len();
+        let previous: Vec<ServerId> = self.servers[&owner.value()]
+            .replica_store()
+            .placed(group)
+            .to_vec();
+        let payload = self.replica_payload(group, owner);
+        let mut placed = Vec::with_capacity(desired.len());
+        for holder in desired {
+            let already = previous.contains(&holder)
+                && self.servers.get(&holder.value()).is_some_and(|s| {
+                    s.replica_store()
+                        .held(group)
+                        .is_some_and(|r| r.owner == owner)
+                });
+            if already {
+                placed.push(holder);
+                continue;
+            }
+            let mut lat = SimDuration::ZERO;
+            if self.transport_send(owner, holder, MessageClass::ReplicateKeygroup, &mut lat)
+                && self.transport_send(holder, owner, MessageClass::AckReplica, &mut lat)
+            {
+                self.msgs.replication_messages += 2;
+                self.latency.replication.observe(ms(lat));
+                self.servers
+                    .get_mut(&holder.value())
+                    .expect("reachable holder is a live server")
+                    .replica_store_mut()
+                    .store(group, payload.clone());
+                placed.push(holder);
+            }
+        }
+        // Release holders that fell out of the successor set — but only
+        // once the new set is fully in place. While under-replicated
+        // (a partition deferred some seed), old copies are retained:
+        // never invalidate what may be the last replica.
+        let fully_placed = placed.len() == desired_len;
+        for stale in previous {
+            if placed.contains(&stale) || !self.servers.contains_key(&stale.value()) {
+                continue; // dead holders' copies died with them
+            }
+            if !fully_placed {
+                placed.push(stale); // retained: still a live replica
+                continue;
+            }
+            let mut lat = SimDuration::ZERO;
+            if self.transport_send(owner, stale, MessageClass::ReplicateKeygroup, &mut lat) {
+                self.msgs.replication_messages += 1;
+                self.servers
+                    .get_mut(&stale.value())
+                    .expect("liveness checked")
+                    .replica_store_mut()
+                    .drop_held(group);
+            }
+        }
+        self.servers
+            .get_mut(&owner.value())
+            .expect("owner is a live server")
+            .replica_store_mut()
+            .set_placed(group, placed);
+    }
+
+    /// Invalidates every replica of `group` (the group was split, merged
+    /// away, handed off, or dematerialized). One charged invalidation per
+    /// reachable holder; unreachable holders keep a stale record that the
+    /// periodic lease sweep expires — and that recovery can never promote,
+    /// because promotion requires the record's owner to be the crashed
+    /// server that actively held the group.
+    fn invalidate_replicas(&mut self, group: Prefix, owner: ServerId) {
+        if !self.replication_enabled() {
+            return;
+        }
+        let Some(owner_server) = self.servers.get_mut(&owner.value()) else {
+            return;
+        };
+        let holders = owner_server.replica_store_mut().take_placed(group);
+        for holder in holders {
+            if !self.servers.contains_key(&holder.value()) {
+                continue; // dead holders' copies died with them
+            }
+            let mut lat = SimDuration::ZERO;
+            if self.transport_send(owner, holder, MessageClass::ReplicateKeygroup, &mut lat) {
+                self.msgs.replication_messages += 1;
+                self.servers
+                    .get_mut(&holder.value())
+                    .expect("liveness checked")
+                    .replica_store_mut()
+                    .drop_held(group);
+            }
+        }
+    }
+
+    /// Write-through refresh: pushes the current ledger of `group` to the
+    /// holders in the owner's registry. Free of messages — the deltas
+    /// piggyback on the data-plane stream the harness aggregates
+    /// analytically — but honest about partitions: an unreachable holder
+    /// is dropped from the registry (its copy goes stale) and re-seeded
+    /// by the periodic sync after healing.
+    fn refresh_replica_payloads(&mut self, group: Prefix, owner: ServerId) {
+        let holders: Vec<ServerId> = self.servers[&owner.value()]
+            .replica_store()
+            .placed(group)
+            .to_vec();
+        if holders.is_empty() {
+            return;
+        }
+        let payload = self.replica_payload(group, owner);
+        let mut kept = Vec::with_capacity(holders.len());
+        for holder in holders {
+            if self.transport.reachable(owner.value(), holder.value()) {
+                if let Some(s) = self.servers.get_mut(&holder.value()) {
+                    s.replica_store_mut().store(group, payload.clone());
+                    kept.push(holder);
+                }
+            }
+        }
+        self.servers
+            .get_mut(&owner.value())
+            .expect("owner is a live server")
+            .replica_store_mut()
+            .set_placed(group, kept);
+    }
+
+    /// Periodic replica maintenance, run every load-check period (the
+    /// same cadence as the load reports it piggybacks on): expires held
+    /// replicas whose owner has left the ring (a local observation from
+    /// ring maintenance, so it is partition-safe — and deliberately the
+    /// *only* expiry trigger: a holder that merely fell off its owner's
+    /// registry, e.g. because a partition starved its write-through, may
+    /// carry the last surviving copy and keeps it until the owner either
+    /// re-seeds or explicitly invalidates it), then re-ensures every
+    /// active group's replica set against the owner's current successor
+    /// list.
+    fn sync_replicas(&mut self) {
+        if !self.replication_enabled() {
+            return;
+        }
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        let pending: BTreeSet<Prefix> = self.pending_recovery.keys().copied().collect();
+        for &sid in &ids {
+            let net = &self.net;
+            self.servers
+                .get_mut(&sid)
+                .expect("snapshotted id")
+                .replica_store_mut()
+                .expire_held(|group, owner| pending.contains(&group) || net.is_alive(owner));
+        }
+        // Re-ensure placement for every active group, owner by owner.
+        let mut work: Vec<(Prefix, ServerId)> = Vec::new();
+        for &sid in &ids {
+            let server = &self.servers[&sid];
+            let owner = server.id();
+            work.extend(server.table().active_groups().map(|e| (e.group, owner)));
+        }
+        for (group, owner) in work {
+            self.ensure_replicas(group, owner);
+        }
     }
 
     // ----- load checks: reports, splits, merges (§4–5) ------------------
@@ -860,7 +1205,11 @@ impl ClashCluster {
     /// operation; the tests rely on this).
     pub fn run_load_check(&mut self) -> Result<LoadCheckReport, ClashError> {
         let mut report = LoadCheckReport::default();
+        if self.replication_enabled() {
+            self.retry_deferred_recoveries(&mut report)?;
+        }
         if !self.config.splitting_enabled {
+            self.sync_replicas();
             return Ok(report);
         }
         self.deliver_load_reports();
@@ -905,6 +1254,7 @@ impl ClashCluster {
                 }
             }
         }
+        self.sync_replicas();
         self.debug_verify();
         Ok(report)
     }
@@ -1025,6 +1375,12 @@ impl ClashCluster {
                 .get_mut(&sid_value)
                 .expect("server exists")
                 .set_right_child(group, target)?;
+            // The parent entry went inactive: retire its replicas and
+            // protect the freshly active left child. The right child is
+            // seeded once its placement is terminal (a retry splits it
+            // again immediately).
+            self.invalidate_replicas(group, server_id);
+            self.ensure_replicas(left, server_id);
 
             if self_mapped && right.depth() < self.config.max_depth {
                 // Right child maps back to us: keep it and split it again
@@ -1060,6 +1416,8 @@ impl ClashCluster {
                     .handle_accept_keygroup(right, server_id, right_load)?;
                 self.global_index.insert(right, target);
             }
+            let right_home = if self_mapped { server_id } else { target };
+            self.ensure_replicas(right, right_home);
             self.latency.split.observe(ms(op_latency));
             return Ok(Some(SplitRecord {
                 server: server_id,
@@ -1199,7 +1557,12 @@ impl ClashCluster {
         self.global_index.remove(left);
         self.global_index.remove(right);
         self.global_index.insert(parent, server_id);
+        // The children are gone; their replicas retire and the
+        // re-activated parent gets its own set.
+        self.invalidate_replicas(left, server_id);
+        self.invalidate_replicas(right, right_holder);
         self.push_group_load(parent)?;
+        self.ensure_replicas(parent, server_id);
         Ok(MergeOutcome::Merged(MergeRecord {
             server: server_id,
             parent,
@@ -1273,6 +1636,10 @@ impl ClashCluster {
             }
         }
         let tally = self.migrate_entries(successor, to_move)?;
+        // Membership changed every successor set around the new node:
+        // re-replicate immediately (the join announcement triggers it),
+        // like any DHT store would.
+        self.sync_replicas();
         self.debug_verify();
         Ok(JoinReport {
             joined: new_id,
@@ -1332,6 +1699,10 @@ impl ClashCluster {
         self.net.remove_node(victim);
         let rounds = self.net.stabilize_until_converged(256);
         let tally = self.migrate_entries(victim, entries)?;
+        // The leaver's held replicas vanished with it: re-replicate
+        // immediately so no group waits out a load-check period
+        // under-protected.
+        self.sync_replicas();
         self.debug_verify();
         Ok(LeaveReport {
             left: victim,
@@ -1372,7 +1743,8 @@ impl ClashCluster {
             if self.transport_send(from, dest, MessageClass::Handoff, &mut latency) {
                 self.latency.handoff.observe(ms(latency));
             }
-            if entry.active {
+            let active = entry.active;
+            if active {
                 if let Some(ledger) = self.ledgers.get(&group) {
                     self.msgs.state_transfer_messages += ledger.queries.len() as u64;
                     self.msgs.redirect_messages += ledger.sources.len() as u64;
@@ -1380,11 +1752,24 @@ impl ClashCluster {
                 self.global_index.insert(group, dest);
                 active_groups += 1;
             }
-            self.servers
-                .get_mut(&dest.value())
-                .ok_or(ClashError::UnknownServer { server: dest })?
-                .table_mut()
-                .install_entry(entry)?;
+            {
+                let dest_server = self
+                    .servers
+                    .get_mut(&dest.value())
+                    .ok_or(ClashError::UnknownServer { server: dest })?;
+                dest_server.table_mut().install_entry(entry)?;
+                // The new owner may have been one of the group's replica
+                // holders; owning the primary supersedes the copy.
+                dest_server.replica_store_mut().drop_held(group);
+            }
+            if active {
+                // The group changed owners: the old replica set (placed
+                // by `from`) retires and the new owner seeds its own. A
+                // departed `from` is gone already — its stale records
+                // expire at the next lease sweep instead.
+                self.invalidate_replicas(group, from);
+                self.ensure_replicas(group, dest);
+            }
         }
         let mut parents_repointed = 0;
         let mut right_children_repointed = 0;
@@ -1411,72 +1796,469 @@ impl ClashCluster {
 
     // ----- extensions beyond the paper's evaluation ---------------------
 
-    /// Kills a server (crash model) and recovers: the Chord ring repairs
-    /// itself, the victim's active key groups are re-bootstrapped onto
-    /// their new `Map()` owners (the ring successors of their hashes),
-    /// and every dangling parent/right-child pointer on the survivors is
-    /// repaired. Re-homed groups become roots — their parent entries died
-    /// with the victim, so their subtrees lose merge-ability above the
-    /// new root (a deliberate soft-state simplification; the paper leaves
-    /// fault handling to the DHT's replication).
+    /// Kills a server (crash model) and recovers. The Chord ring repairs
+    /// itself; what happens to the victim's active key groups depends on
+    /// [`crate::config::ClashConfig::replication_factor`]:
+    ///
+    /// * **`r = 0`** (default) — the historical oracle crutch: groups are
+    ///   re-bootstrapped onto their new `Map()` owners with ledgers read
+    ///   from the simulation's global state, modeling unspecified
+    ///   "DHT-level replication". Bit-for-bit identical to the
+    ///   pre-replication behavior.
+    /// * **`r ≥ 1`** — real recovery: the new `Map()` owner of each lost
+    ///   group fetches state from the first live successor replica and
+    ///   promotes it — ledger included, so stream clients reconnect to
+    ///   real recovered state — without a single oracle read (counted by
+    ///   [`ClashCluster::recovery_oracle_reads`]). Groups whose replicas
+    ///   all sit behind a partition defer ([`FailureReport::groups_deferred`],
+    ///   retried each load check); groups whose owner *and* replicas all
+    ///   died are truthfully reported lost and re-rooted empty.
+    ///
+    /// Either way, re-homed groups become roots — their parent entries
+    /// died with the victim, so their subtrees lose merge-ability above
+    /// the new root — and every dangling parent/right-child pointer on
+    /// the survivors is repaired.
     ///
     /// # Errors
     ///
     /// Returns [`ClashError::UnknownServer`] for unknown victims and
     /// [`ClashError::InvalidConfig`] when asked to fail the last server.
     pub fn fail_server(&mut self, victim: ServerId) -> Result<FailureReport, ClashError> {
-        if self.servers.len() <= 1 {
+        self.fail_servers(&[victim])
+    }
+
+    /// [`ClashCluster::fail_server`] for a *simultaneous* crash of several
+    /// servers — the correlated-failure case (a rack, an availability
+    /// zone) that successor-list replication exists to be measured
+    /// against: a burst that takes out an owner together with all `r` of
+    /// its replica holders genuinely loses state, and the report says so.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClashError::InvalidConfig`] for an empty or duplicated
+    /// victim list and when the crash would take the last server;
+    /// [`ClashError::UnknownServer`] for unknown victims.
+    pub fn fail_servers(&mut self, victims: &[ServerId]) -> Result<FailureReport, ClashError> {
+        if victims.is_empty() {
+            return Err(ClashError::InvalidConfig {
+                reason: "crash burst needs at least one victim",
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for v in victims {
+            if !seen.insert(v.value()) {
+                return Err(ClashError::InvalidConfig {
+                    reason: "duplicate victim in crash burst",
+                });
+            }
+        }
+        if self.servers.len() <= victims.len() {
             return Err(ClashError::InvalidConfig {
                 reason: "cannot fail the last server",
             });
         }
-        let server = self
-            .servers
-            .remove(&victim.value())
-            .ok_or(ClashError::UnknownServer { server: victim })?;
-        let lost_groups: Vec<Prefix> = server.table().active_groups().map(|e| e.group).collect();
-        self.net.fail(victim);
+        for v in victims {
+            if !self.servers.contains_key(&v.value()) {
+                return Err(ClashError::UnknownServer { server: *v });
+            }
+        }
+        let corpses: Vec<ClashServer> = victims
+            .iter()
+            .map(|v| self.servers.remove(&v.value()).expect("membership checked"))
+            .collect();
+        for v in victims {
+            self.net.fail(*v);
+        }
         self.net.stabilize_until_converged(256);
 
         let mut report = FailureReport {
-            failed: victim,
+            failed: victims[0],
+            servers_failed: victims.len(),
             groups_reassigned: 0,
+            groups_recovered: 0,
+            groups_lost: 0,
+            groups_deferred: 0,
+            sources_lost: 0,
+            queries_lost: 0,
             orphaned_parents: 0,
             repaired_right_children: 0,
         };
-        for group in lost_groups {
-            let new_owner = self.map_group(group);
-            debug_assert_ne!(new_owner, victim);
-            self.servers
-                .get_mut(&new_owner.value())
-                .expect("ring member")
-                .bootstrap_root(group)?;
-            self.global_index.insert(group, new_owner);
-            let ledger = self.ledgers.entry(group).or_default();
-            self.msgs.state_transfer_messages += ledger.queries.len() as u64;
-            self.msgs.redirect_messages += ledger.sources.len() as u64;
-            self.push_group_load(group)?;
-            report.groups_reassigned += 1;
+        self.recovery_active.set(true);
+        let outcome = if self.replication_enabled() {
+            self.recover_from_replicas(&corpses, &mut report)
+        } else {
+            self.recover_from_oracle(&corpses, &mut report)
+        };
+        self.recovery_active.set(false);
+        outcome?;
+        // Failure-triggered re-replication: survivors whose holders died
+        // with the victims re-seed now, not a load-check period later —
+        // this is what keeps *sequential* single crashes lossless.
+        self.sync_replicas();
+        self.debug_verify();
+        Ok(report)
+    }
+
+    /// The historical `r = 0` recovery: re-home every lost group onto its
+    /// new `Map()` owner with ledgers read from the global state — the
+    /// oracle crutch the paper's hand-wave about DHT replication amounts
+    /// to. Kept verbatim (single-victim message accounting is bit-for-bit
+    /// the pre-replication behavior); its oracle reads are counted.
+    fn recover_from_oracle(
+        &mut self,
+        corpses: &[ClashServer],
+        report: &mut FailureReport,
+    ) -> Result<(), ClashError> {
+        for corpse in corpses {
+            let victim = corpse.id();
+            let lost_groups: Vec<Prefix> =
+                corpse.table().active_groups().map(|e| e.group).collect();
+            for group in lost_groups {
+                let new_owner = self.map_group(group);
+                debug_assert_ne!(new_owner, victim);
+                self.servers
+                    .get_mut(&new_owner.value())
+                    .expect("ring member")
+                    .bootstrap_root(group)?;
+                self.global_index.insert(group, new_owner);
+                let ledger = self.ledgers.entry(group).or_default();
+                self.msgs.state_transfer_messages += ledger.queries.len() as u64;
+                self.msgs.redirect_messages += ledger.sources.len() as u64;
+                self.push_group_load(group)?;
+                report.groups_reassigned += 1;
+                report.groups_recovered += 1;
+            }
         }
         // Repair dangling pointers on every survivor, resolving right
         // children against the post-reassignment oracle.
         let ids: Vec<u64> = self.servers.keys().copied().collect();
-        for sid in ids {
-            let index = &self.global_index;
-            let server = self.servers.get_mut(&sid).expect("snapshotted id");
-            let (orphans, repairs) = server
-                .table_mut()
-                .repair_after_peer_failure(victim, |g| index.get(g).copied());
-            report.orphaned_parents += orphans;
-            report.repaired_right_children += repairs;
+        for corpse in corpses {
+            let victim = corpse.id();
+            for &sid in &ids {
+                let index = &self.global_index;
+                let active = &self.recovery_active;
+                let reads = &self.oracle_reads_in_recovery;
+                let server = self.servers.get_mut(&sid).expect("snapshotted id");
+                let (orphans, repairs) =
+                    server.table_mut().repair_after_peer_failure(victim, |g| {
+                        if active.get() {
+                            reads.set(reads.get() + 1);
+                        }
+                        index.get(g).copied()
+                    });
+                report.orphaned_parents += orphans;
+                report.repaired_right_children += repairs;
+            }
         }
-        self.debug_verify();
-        Ok(report)
+        Ok(())
+    }
+
+    /// Replica-based recovery (`r ≥ 1`): promote the first live successor
+    /// replica of every lost group. The corpses' tables are consulted
+    /// only for truthful post-mortem *accounting* (which groups existed —
+    /// the harness keeps failed servers' state the way `SimNet` keeps
+    /// failed nodes'); every byte of *recovered* state comes from the
+    /// replicas, and the oracle-read counter proves the index is never
+    /// consulted.
+    fn recover_from_replicas(
+        &mut self,
+        corpses: &[ClashServer],
+        report: &mut FailureReport,
+    ) -> Result<(), ClashError> {
+        let mut lost: Vec<(Prefix, ServerId)> = Vec::new();
+        for corpse in corpses {
+            lost.extend(
+                corpse
+                    .table()
+                    .active_groups()
+                    .map(|e| (e.group, corpse.id())),
+            );
+        }
+        lost.sort();
+        let membership = self.client_membership(lost.iter().map(|&(g, _)| g));
+        let single_crash = corpses.len() == 1;
+        let mut promotions: BTreeMap<Prefix, ServerId> = BTreeMap::new();
+        for &(group, old_owner) in &lost {
+            if let Some(new_owner) =
+                self.promote_or_defer(group, old_owner, single_crash, &membership, report)?
+            {
+                promotions.insert(group, new_owner);
+            }
+        }
+        // Pointer repair resolves right children via the promotion
+        // announcements — local knowledge from this recovery, never the
+        // oracle. Deferred and vanished groups resolve to nothing, so the
+        // dangling pointer clears.
+        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        for corpse in corpses {
+            let victim = corpse.id();
+            for &sid in &ids {
+                let server = self.servers.get_mut(&sid).expect("snapshotted id");
+                let (orphans, repairs) = server
+                    .table_mut()
+                    .repair_after_peer_failure(victim, |g| promotions.get(&g).copied());
+                report.orphaned_parents += orphans;
+                report.repaired_right_children += repairs;
+            }
+        }
+        Ok(())
+    }
+
+    /// The surviving client registry for `groups`: which sources and
+    /// queries still point at each (clients outlive their servers; their
+    /// attachments may not). One scan per recovery event.
+    #[allow(clippy::type_complexity)]
+    fn client_membership(
+        &self,
+        groups: impl Iterator<Item = Prefix>,
+    ) -> BTreeMap<Prefix, (Vec<u64>, Vec<u64>)> {
+        let mut map: BTreeMap<Prefix, (Vec<u64>, Vec<u64>)> =
+            groups.map(|g| (g, (Vec::new(), Vec::new()))).collect();
+        for (&sid, rec) in &self.sources {
+            if let Some(slot) = map.get_mut(&rec.group) {
+                slot.0.push(sid);
+            }
+        }
+        for (&qid, rec) in &self.queries {
+            if let Some(slot) = map.get_mut(&rec.group) {
+                slot.1.push(qid);
+            }
+        }
+        map
+    }
+
+    /// Recovers one lost group from its successor replicas: the new
+    /// `Map()` owner fetches state from the first live replica (in the
+    /// dead owner's successor order) and promotes it as a new root. If
+    /// every live holder is unreachable the recovery defers; if none
+    /// exists the group is re-rooted empty and its clients are dropped,
+    /// truthfully counted. Returns the group's new home, or `None` while
+    /// deferred.
+    fn promote_or_defer(
+        &mut self,
+        group: Prefix,
+        old_owner: ServerId,
+        single_crash: bool,
+        membership: &BTreeMap<Prefix, (Vec<u64>, Vec<u64>)>,
+        report: &mut FailureReport,
+    ) -> Result<Option<ServerId>, ClashError> {
+        let new_owner = self.map_group(group);
+        // Candidates: survivors holding a replica whose owner is the dead
+        // server that actively held the group. The owner filter is what
+        // makes stale records (a split's invalidation deferred behind a
+        // partition, a handoff's old copies) unpromotable: their owner is
+        // never the crashed active holder.
+        let mask = self.config.hash_space.mask();
+        let mut candidates: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| {
+                s.replica_store()
+                    .held(group)
+                    .is_some_and(|r| r.owner == old_owner)
+            })
+            .map(ClashServer::id)
+            .collect();
+        candidates.sort_by_key(|h| h.value().wrapping_sub(old_owner.value()) & mask);
+        let mut fetched: Option<ReplicaRecord> = None;
+        for &holder in &candidates {
+            if holder == new_owner {
+                // The new ring owner already holds the replica — the
+                // common single-crash case. Reading it crosses no
+                // network, so nothing is charged (like every other local
+                // delivery in the harness).
+                fetched = self.servers[&holder.value()]
+                    .replica_store()
+                    .held(group)
+                    .cloned();
+                break;
+            }
+            let mut lat = SimDuration::ZERO;
+            if self.transport_send(new_owner, holder, MessageClass::ReplicateKeygroup, &mut lat)
+                && self.transport_send(holder, new_owner, MessageClass::AckReplica, &mut lat)
+            {
+                self.msgs.replication_messages += 2;
+                self.latency.replication.observe(ms(lat));
+                fetched = self.servers[&holder.value()]
+                    .replica_store()
+                    .held(group)
+                    .cloned();
+                break;
+            }
+        }
+        let (live_sources, live_queries) = membership.get(&group).cloned().unwrap_or_default();
+        match fetched {
+            Some(rec) => {
+                // Reconcile the replica's ledger against the surviving
+                // client registry: attachments the replica never saw (a
+                // partition starved its write-through) died with the
+                // owner, and replica members that detached meanwhile drop
+                // out.
+                let sources: Vec<u64> = rec
+                    .sources
+                    .iter()
+                    .copied()
+                    .filter(|s| live_sources.contains(s))
+                    .collect();
+                let queries: Vec<u64> = rec
+                    .queries
+                    .iter()
+                    .copied()
+                    .filter(|q| live_queries.contains(q))
+                    .collect();
+                for s in &live_sources {
+                    if !sources.contains(s) {
+                        self.sources.remove(s);
+                        report.sources_lost += 1;
+                    }
+                }
+                for q in &live_queries {
+                    if !queries.contains(q) {
+                        self.queries.remove(q);
+                        report.queries_lost += 1;
+                    }
+                }
+                let rate: f64 = sources.iter().map(|s| self.sources[s].rate).sum();
+                let ledger = GroupLedger {
+                    sources,
+                    queries,
+                    rate,
+                };
+                let load = ledger.load();
+                self.msgs.state_transfer_messages += ledger.queries.len() as u64;
+                self.msgs.redirect_messages += ledger.sources.len() as u64;
+                self.ledgers.insert(group, ledger);
+                {
+                    let server = self
+                        .servers
+                        .get_mut(&new_owner.value())
+                        .expect("ring member");
+                    server.bootstrap_root(group)?;
+                    server.set_group_load(group, load)?;
+                }
+                self.global_index.insert(group, new_owner);
+                self.pending_recovery.remove(&group);
+                // Re-protect immediately: the survivors of a burst must
+                // not depend on the next sync period for their own cover.
+                self.ensure_replicas(group, new_owner);
+                report.groups_reassigned += 1;
+                report.groups_recovered += 1;
+                Ok(Some(new_owner))
+            }
+            None if !candidates.is_empty() => {
+                // Replicas exist but every one sits behind the partition:
+                // defer. The group leaves the active cover until a later
+                // load check can reach a holder.
+                self.global_index.remove(group);
+                self.pending_recovery.insert(
+                    group,
+                    PendingRecovery {
+                        old_owner,
+                        single_crash,
+                    },
+                );
+                report.groups_deferred += 1;
+                Ok(None)
+            }
+            None => {
+                // The owner and every replica are gone: the state is
+                // genuinely lost. Re-root the group empty so the cover
+                // stays a partition, and truthfully drop the stranded
+                // clients — no silent resurrection from the oracle.
+                for s in &live_sources {
+                    self.sources.remove(s);
+                }
+                for q in &live_queries {
+                    self.queries.remove(q);
+                }
+                report.sources_lost += live_sources.len();
+                report.queries_lost += live_queries.len();
+                self.ledgers.insert(group, GroupLedger::default());
+                self.servers
+                    .get_mut(&new_owner.value())
+                    .expect("ring member")
+                    .bootstrap_root(group)?;
+                self.global_index.insert(group, new_owner);
+                self.pending_recovery.remove(&group);
+                self.ensure_replicas(group, new_owner);
+                report.groups_reassigned += 1;
+                report.groups_lost += 1;
+                Ok(Some(new_owner))
+            }
+        }
+    }
+
+    /// Retries every partition-deferred recovery (run at each load
+    /// check). A group whose replicas became reachable is promoted; one
+    /// whose last holders have since died is re-rooted empty and counted
+    /// lost.
+    fn retry_deferred_recoveries(
+        &mut self,
+        report: &mut LoadCheckReport,
+    ) -> Result<(), ClashError> {
+        if self.pending_recovery.is_empty() {
+            return Ok(());
+        }
+        let pending: Vec<(Prefix, PendingRecovery)> = self
+            .pending_recovery
+            .iter()
+            .map(|(&g, &p)| (g, p))
+            .collect();
+        let membership = self.client_membership(pending.iter().map(|&(g, _)| g));
+        self.recovery_active.set(true);
+        let mut tally = FailureReport {
+            failed: pending[0].1.old_owner,
+            servers_failed: 0,
+            groups_reassigned: 0,
+            groups_recovered: 0,
+            groups_lost: 0,
+            groups_deferred: 0,
+            sources_lost: 0,
+            queries_lost: 0,
+            orphaned_parents: 0,
+            repaired_right_children: 0,
+        };
+        let mut outcome = Ok(());
+        for (group, rec) in pending {
+            let lost_before = tally.groups_lost;
+            let sources_before = tally.sources_lost;
+            let queries_before = tally.queries_lost;
+            match self.promote_or_defer(
+                group,
+                rec.old_owner,
+                rec.single_crash,
+                &membership,
+                &mut tally,
+            ) {
+                Ok(Some(_)) => {
+                    if tally.groups_lost > lost_before {
+                        report.recoveries_lost += 1;
+                        if rec.single_crash {
+                            report.recoveries_lost_single += 1;
+                        }
+                    } else {
+                        report.recoveries_completed += 1;
+                    }
+                    // Client losses surface even on a successful promotion
+                    // (a partition-starved replica reconciles them away).
+                    report.recovery_sources_lost += (tally.sources_lost - sources_before) as u64;
+                    report.recovery_queries_lost += (tally.queries_lost - queries_before) as u64;
+                }
+                Ok(None) => {} // still deferred
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.recovery_active.set(false);
+        outcome
     }
 
     /// Ground-truth range scan: every active group intersecting `range`
     /// and its owner, in key order (no messages).
     pub fn oracle_range(&self, range: Prefix) -> Vec<(Prefix, ServerId)> {
+        self.count_oracle_read();
         self.global_index
             .intersecting(range)
             .into_iter()
@@ -1579,11 +2361,19 @@ impl ClashCluster {
             }
         }
         assert_eq!(total_active, self.global_index.len());
-        // 3. In CLASH mode the active groups partition the key space.
+        // 3. In CLASH mode the active groups — together with any groups
+        // whose crash recovery is deferred behind a partition — partition
+        // the key space.
         if self.config.splitting_enabled {
+            let mut cover = self.global_cover();
+            for &g in self.pending_recovery.keys() {
+                cover
+                    .insert(g)
+                    .expect("deferred groups must be disjoint from the active cover");
+            }
             assert!(
-                self.global_cover().is_partition(),
-                "active groups do not partition the key space"
+                cover.is_partition(),
+                "active groups (plus deferred recoveries) do not partition the key space"
             );
         }
         // 4. Ledger membership matches member records.
@@ -1608,6 +2398,38 @@ impl ClashCluster {
                     server.id(),
                     self.map_group(e.group)
                 );
+            }
+        }
+        // 6. Replication bookkeeping: an owner never holds a copy of its
+        // own active group, and every *live* holder its registry names
+        // holds the record for the right owner with the current ledger
+        // (write-through keeps registered holders exact; only
+        // unregistered copies may go stale). A registry may transiently
+        // name a dead holder — a crash between syncs — which the next
+        // maintenance round prunes.
+        if self.replication_enabled() {
+            for (group, &owner) in self.global_index.iter() {
+                let owner_server = self.server(owner).expect("owner exists");
+                assert!(
+                    owner_server.replica_store().held(group).is_none(),
+                    "{owner} owns {group} and also holds a replica of it"
+                );
+                let ledger = self.ledgers.get(&group);
+                for &holder in owner_server.replica_store().placed(group) {
+                    let Some(holder_server) = self.server(holder) else {
+                        continue; // crashed holder, pruned at next sync
+                    };
+                    let rec = holder_server
+                        .replica_store()
+                        .held(group)
+                        .unwrap_or_else(|| panic!("{holder} lost its replica of {group}"));
+                    assert_eq!(rec.owner, owner, "replica of {group} names a stale owner");
+                    let (sources, queries) = ledger
+                        .map(|l| (l.sources.clone(), l.queries.clone()))
+                        .unwrap_or_default();
+                    assert_eq!(rec.sources, sources, "stale replica ledger for {group}");
+                    assert_eq!(rec.queries, queries, "stale replica ledger for {group}");
+                }
             }
         }
     }
@@ -2467,6 +3289,206 @@ mod tests {
             2,
             "after healing, consolidation must complete back to the roots"
         );
+    }
+
+    fn replicated_cluster(n: usize, r: usize, seed: u64) -> ClashCluster {
+        ClashCluster::new(ClashConfig::small_test().with_replication(r), n, seed).unwrap()
+    }
+
+    #[test]
+    fn replication_seeds_successor_copies_of_every_active_group() {
+        let mut c = replicated_cluster(8, 2, 1);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+        // Every active group has copies on its owner's first live
+        // successors, payloads current (checked by verify_consistency's
+        // invariant 6); globally that means replicas exist.
+        let held: usize = c
+            .server_ids()
+            .iter()
+            .map(|&id| c.server(id).unwrap().replica_store().held_count())
+            .sum();
+        assert!(held > 0, "replication must place copies");
+        assert!(c.message_stats().replication_messages > 0);
+        // r = 0 charges nothing.
+        let mut plain = replicated_cluster(8, 0, 1);
+        for i in 0..100 {
+            plain.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        plain.run_load_check().unwrap();
+        assert_eq!(plain.message_stats().replication_messages, 0);
+    }
+
+    #[test]
+    fn replication_factor_does_not_perturb_protocol_decisions() {
+        let run = |r: usize| {
+            let mut c = replicated_cluster(8, r, 1);
+            for i in 0..100 {
+                c.attach_source(i, key(i % 64), 2.0).unwrap();
+            }
+            c.run_load_check().unwrap();
+            for i in 0..50 {
+                c.detach_source(i).unwrap();
+            }
+            for _ in 0..6 {
+                c.run_load_check().unwrap();
+            }
+            c
+        };
+        let plain = run(0);
+        let replicated = run(3);
+        let mut masked = replicated.message_stats();
+        assert!(masked.replication_messages > 0);
+        masked.replication_messages = 0;
+        assert_eq!(
+            masked,
+            plain.message_stats(),
+            "replication must only add replication messages"
+        );
+        assert_eq!(
+            plain.global_cover().len(),
+            replicated.global_cover().len(),
+            "identical split/merge decisions"
+        );
+        replicated.verify_consistency();
+    }
+
+    #[test]
+    fn replicated_crash_recovers_ledgers_without_oracle_reads() {
+        let mut c = replicated_cluster(8, 2, 1);
+        for i in 0..100 {
+            c.attach_source(i, key(i % 64), 2.0).unwrap();
+        }
+        for q in 0..20 {
+            c.attach_query(1000 + q, key((q * 11) % 256)).unwrap();
+        }
+        c.run_load_check().unwrap();
+        let total_rate_before: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        // Crash the busiest server; everything must come back from the
+        // replicas, with zero oracle reads.
+        let victim = c
+            .server_loads()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, _)| id)
+            .unwrap();
+        let report = c.fail_server(victim).unwrap();
+        assert!(report.groups_recovered > 0);
+        assert_eq!(report.groups_recovered, report.groups_reassigned);
+        assert_eq!(report.groups_lost, 0);
+        assert_eq!(report.groups_deferred, 0);
+        assert_eq!((report.sources_lost, report.queries_lost), (0, 0));
+        assert_eq!(
+            c.recovery_oracle_reads(),
+            0,
+            "recovery must not read the oracle"
+        );
+        c.verify_consistency();
+        assert_eq!(c.source_count(), 100);
+        assert_eq!(c.query_count(), 20);
+        let total_rate_after: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        assert!((total_rate_after - total_rate_before).abs() < 1e-6);
+        for bits in (0..256u64).step_by(5) {
+            let placement = c.locate(key(bits)).unwrap();
+            assert_ne!(placement.server, victim);
+            let (oracle_server, _) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(placement.server, oracle_server);
+        }
+        // Still zero: locate/oracle_locate outside recovery don't count.
+        assert_eq!(c.recovery_oracle_reads(), 0);
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+    }
+
+    #[test]
+    fn sequential_replicated_crashes_keep_recovering() {
+        // Promotion re-seeds immediately, so crash after crash (with no
+        // load check in between) never outruns the replicas.
+        let mut c = replicated_cluster(10, 2, 7);
+        for i in 0..60 {
+            c.attach_source(i, key(i * 4), 1.5).unwrap();
+        }
+        c.run_load_check().unwrap();
+        for round in 0..5 {
+            let ids = c.server_ids();
+            let victim = ids[round % ids.len()];
+            let report = c.fail_server(victim).unwrap();
+            assert_eq!(report.groups_lost, 0, "round {round} lost groups");
+            c.verify_consistency();
+        }
+        assert_eq!(c.recovery_oracle_reads(), 0);
+        assert_eq!(c.source_count(), 60);
+    }
+
+    #[test]
+    fn burst_killing_owner_and_all_replicas_reports_loss_truthfully() {
+        let mut c = replicated_cluster(10, 1, 3);
+        for i in 0..80 {
+            c.attach_source(i, key(i % 256), 1.0).unwrap();
+        }
+        c.run_load_check().unwrap();
+        // Pick an owner with at least one active group and kill it
+        // together with its r successors — every replica dies with it.
+        let owner = c
+            .server_ids()
+            .into_iter()
+            .find(|&id| c.server(id).unwrap().table().active_count() > 0)
+            .unwrap();
+        let lost_groups = c.server(owner).unwrap().table().active_count();
+        let mut victims = vec![owner];
+        victims.extend(c.net().alive_successors(owner, 1));
+        let sources_before = c.source_count();
+        let report = c.fail_servers(&victims).unwrap();
+        assert_eq!(report.servers_failed, victims.len());
+        assert!(
+            report.groups_lost >= lost_groups,
+            "owner+replica burst must lose the owner's groups: {report:?}"
+        );
+        assert_eq!(c.recovery_oracle_reads(), 0);
+        // The loss is truthful: stranded clients are gone, yet the cover
+        // still partitions (empty re-rooted groups) and lookups work.
+        assert!(c.source_count() < sources_before || report.sources_lost == 0);
+        assert_eq!(
+            sources_before - c.source_count(),
+            report.sources_lost,
+            "sources lost must match the report"
+        );
+        c.verify_consistency();
+        assert!(c.global_cover().is_partition());
+        for bits in (0..256u64).step_by(17) {
+            let placement = c.locate(key(bits)).unwrap();
+            let (oracle_server, _) = c.oracle_locate(key(bits)).unwrap();
+            assert_eq!(placement.server, oracle_server);
+        }
+    }
+
+    #[test]
+    fn fail_servers_validates_input() {
+        let mut c = replicated_cluster(4, 1, 2);
+        let ids = c.server_ids();
+        assert!(matches!(
+            c.fail_servers(&[]),
+            Err(ClashError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            c.fail_servers(&[ids[0], ids[0]]),
+            Err(ClashError::InvalidConfig { .. })
+        ));
+        let ghost = ServerId::new(0xDEAD_BEEF, c.config().hash_space);
+        assert!(matches!(
+            c.fail_servers(&[ids[0], ghost]),
+            Err(ClashError::UnknownServer { .. })
+        ));
+        // Nothing was mutated by the rejected calls.
+        assert_eq!(c.server_count(), 4);
+        c.verify_consistency();
+        assert!(matches!(
+            c.fail_servers(&ids),
+            Err(ClashError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct ClashConfig {
     pub load_model: QueryStreamLoadModel,
     /// Which group an overloaded server splits first.
     pub split_policy: SplitPolicy,
+    /// Successor-list replication factor `r`: each active key-group entry
+    /// (with its ledger) is replicated on its owner's first `r` alive ring
+    /// successors, and crash recovery promotes the first live replica
+    /// instead of reading the simulation oracle. `0` (the default, and the
+    /// paper's implicit setting — it delegates fault handling to the DHT)
+    /// disables replication entirely and preserves the pre-replication
+    /// behavior bit for bit.
+    pub replication_factor: usize,
 }
 
 impl ClashConfig {
@@ -90,6 +98,7 @@ impl ClashConfig {
             hash_seed: 0xC1A5_4001,
             load_model: QueryStreamLoadModel::paper_calibration(),
             split_policy: SplitPolicy::Hottest,
+            replication_factor: 0,
         }
     }
 
@@ -122,7 +131,27 @@ impl ClashConfig {
             hash_seed: 7,
             load_model: QueryStreamLoadModel::paper_calibration(),
             split_policy: SplitPolicy::Hottest,
+            replication_factor: 0,
         }
+    }
+
+    /// A copy with the given successor-list replication factor.
+    pub fn with_replication(self, replication_factor: usize) -> Self {
+        ClashConfig {
+            replication_factor,
+            ..self
+        }
+    }
+
+    /// The replication factor named by the `CLASH_REPLICATION` environment
+    /// variable, or 0 when unset/unparsable. The repo-level test suites
+    /// read this so CI can run the same scenarios with replication off
+    /// (the historical behavior) and on.
+    pub fn replication_factor_from_env() -> usize {
+        std::env::var("CLASH_REPLICATION")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
     }
 
     /// Overload threshold in absolute load units.
@@ -255,5 +284,14 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(ClashConfig::default(), ClashConfig::paper());
+    }
+
+    #[test]
+    fn replication_defaults_off_and_builder_sets_it() {
+        assert_eq!(ClashConfig::paper().replication_factor, 0);
+        assert_eq!(ClashConfig::small_test().replication_factor, 0);
+        let cfg = ClashConfig::small_test().with_replication(3);
+        assert_eq!(cfg.replication_factor, 3);
+        cfg.validate().unwrap();
     }
 }

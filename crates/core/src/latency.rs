@@ -33,6 +33,10 @@ pub struct LatencyMetrics {
     pub merge: Histogram,
     /// Membership handoff transfers (one per migrated table entry).
     pub handoff: Histogram,
+    /// Replica maintenance and recovery round trips:
+    /// `REPLICATE_KEYGROUP`/`ACK_REPLICA` seeds, and the per-group state
+    /// fetch a crash recovery pays to promote a successor replica.
+    pub replication: Histogram,
 }
 
 impl LatencyMetrics {
@@ -45,6 +49,7 @@ impl LatencyMetrics {
             split: h(),
             merge: h(),
             handoff: h(),
+            replication: h(),
         }
     }
 }

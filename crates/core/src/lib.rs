@@ -56,6 +56,7 @@ pub mod error;
 pub mod latency;
 pub mod load;
 pub mod messages;
+pub mod replication;
 pub mod server;
 pub mod table;
 
@@ -66,6 +67,7 @@ pub use error::ClashError;
 pub use latency::LatencyMetrics;
 pub use load::{LoadLevel, QueryStreamLoadModel};
 pub use messages::{AcceptObjectResponse, ClashRequest};
+pub use replication::{ReplicaRecord, ReplicaStore};
 pub use server::ClashServer;
 pub use table::{ServerTable, TableEntry};
 

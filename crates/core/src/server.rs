@@ -15,6 +15,7 @@ use crate::config::{ClashConfig, SplitPolicy};
 use crate::error::ClashError;
 use crate::load::{GroupLoad, LoadLevel};
 use crate::messages::{AcceptObjectResponse, ReleaseResponse};
+use crate::replication::ReplicaStore;
 use crate::table::{ChildReport, ParentRef, ServerTable, TableEntry};
 use crate::ServerId;
 
@@ -56,6 +57,10 @@ pub struct ClashServer {
     config: ClashConfig,
     table: ServerTable,
     stats: ServerStats,
+    /// Successor-list replication state: replicas held for ring
+    /// predecessors plus the placement registry for this server's own
+    /// groups. Unused (and empty) when the replication factor is 0.
+    replicas: ReplicaStore,
 }
 
 impl ClashServer {
@@ -64,6 +69,7 @@ impl ClashServer {
         ClashServer {
             id,
             table: ServerTable::new(id, config.key_width),
+            replicas: ReplicaStore::new(config.key_width),
             config,
             stats: ServerStats::default(),
         }
@@ -87,6 +93,16 @@ impl ClashServer {
     /// Mutable table access for cluster-level recovery procedures.
     pub(crate) fn table_mut(&mut self) -> &mut ServerTable {
         &mut self.table
+    }
+
+    /// Read access to the replication state.
+    pub fn replica_store(&self) -> &ReplicaStore {
+        &self.replicas
+    }
+
+    /// Mutable replication state for the cluster's replication engine.
+    pub(crate) fn replica_store_mut(&mut self) -> &mut ReplicaStore {
+        &mut self.replicas
     }
 
     /// Protocol activity counters.

@@ -234,6 +234,86 @@ proptest! {
         prop_assert!((total - next_source as f64 * 2.0).abs() < 1e-6);
     }
 
+    /// Replicated crash recovery is exact and oracle-free: under random
+    /// interleavings of joins, graceful leaves, crashes, workload bursts
+    /// and load checks with `r ≥ 2`, every crash recovers its groups and
+    /// ledgers to exactly the oracle's view (verify_consistency checks
+    /// table ↔ oracle ↔ ledger ↔ member-record coherence, and no source
+    /// or unit of load may vanish), while the no-oracle-reads-during-
+    /// recovery counter stays pinned at 0.
+    #[test]
+    fn replicated_recovery_is_exact_and_oracle_free(
+        servers in 2usize..10,
+        seed in 0u64..500,
+        ops in prop::collection::vec((0u8..7, 0u64..u64::MAX), 1..14),
+    ) {
+        let config = ClashConfig::small_test().with_replication(2);
+        let mut c = ClashCluster::new(config, servers, seed).unwrap();
+        let mut next_source = 0u64;
+        for &(op, arg) in &ops {
+            match op {
+                // Workload burst: heat a quadrant chosen by `arg`.
+                0 | 1 => {
+                    let quadrant = (arg % 4) << 6;
+                    for j in 0..12 {
+                        let bits = quadrant | ((arg.wrapping_add(j * 17)) % 64);
+                        c.attach_source(next_source, key(bits), 2.0).unwrap();
+                        next_source += 1;
+                    }
+                }
+                // Join a fresh server with an arbitrary ring id.
+                2 => {
+                    let id = ServerId::new(arg, config.hash_space);
+                    if c.net().node(id).is_none() {
+                        c.join_server(id).unwrap();
+                    }
+                }
+                // Graceful drain of an arbitrary server.
+                3 => {
+                    if c.server_count() > 1 {
+                        let ids = c.server_ids();
+                        c.leave_server(ids[(arg as usize) % ids.len()]).unwrap();
+                    }
+                }
+                // Crash an arbitrary server: recovery must be complete
+                // (replicas exist for every active group) and oracle-free.
+                4 | 5 => {
+                    if c.server_count() > 1 {
+                        let ids = c.server_ids();
+                        let victim = ids[(arg as usize) % ids.len()];
+                        let report = c.fail_server(victim).unwrap();
+                        prop_assert_eq!(report.groups_lost, 0, "single crash lost groups");
+                        prop_assert_eq!(report.groups_deferred, 0, "no partition here");
+                        prop_assert_eq!(report.groups_recovered, report.groups_reassigned);
+                        prop_assert_eq!(report.sources_lost + report.queries_lost, 0);
+                    }
+                }
+                // A load-check period elapses (replica sync rides along).
+                _ => {
+                    c.run_load_check().unwrap();
+                }
+            }
+            // After every event: recovered groups + ledgers equal the
+            // oracle's view, and recovery never read the oracle.
+            prop_assert_eq!(c.recovery_oracle_reads(), 0, "oracle read during recovery");
+            c.verify_consistency();
+            prop_assert!(c.global_cover().is_partition());
+        }
+        // No data-plane state was lost across all the crashes.
+        prop_assert_eq!(c.source_count() as u64, next_source);
+        let total: f64 = c.server_loads().iter().map(|&(_, l)| l).sum();
+        prop_assert!((total - next_source as f64 * 2.0).abs() < 1e-6);
+        // The clients all still resolve to live owners agreeing with the
+        // oracle.
+        for i in 0..16u64 {
+            let k = key((i * 37) % 256);
+            let placement = c.locate(k).unwrap();
+            let (oracle_server, oracle_group) = c.oracle_locate(k).unwrap();
+            prop_assert_eq!(placement.server, oracle_server);
+            prop_assert_eq!(placement.group, oracle_group);
+        }
+    }
+
     /// Heating then cooling a region splits and then re-merges it; the
     /// cover stays a partition throughout and depth returns to the roots.
     #[test]

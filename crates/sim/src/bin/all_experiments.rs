@@ -9,7 +9,7 @@
 //! without it each experiment keeps its historical hard-coded seed.
 
 use clash_sim::experiments::{
-    ablation, churn, demos, depth_conv, fig3, fig4, fig5, netfault, servers_saved,
+    ablation, availability, churn, demos, depth_conv, fig3, fig4, fig5, netfault, servers_saved,
 };
 use clash_sim::report;
 
@@ -71,6 +71,14 @@ fn main() {
     let nf = netfault::run_seeded(scale, seed).expect("netfault failed");
     println!("{}", netfault::render(&nf));
     netfault::write_csvs(&nf, &out_dir).expect("write netfault csvs");
+
+    eprintln!(
+        "[{:6.1}s] running availability at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let av = availability::run_seeded(scale, seed).expect("availability failed");
+    println!("{}", availability::render(&av));
+    availability::write_csvs(&av, &out_dir).expect("write availability csv");
 
     eprintln!(
         "all experiments done in {:.1}s; CSVs in {out_dir}/",

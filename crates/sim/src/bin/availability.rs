@@ -1,0 +1,18 @@
+//! Availability experiment binary: crash recovery by replication factor
+//! (`r ∈ {0, 1, 2, 3}`) under sustained churn, single crashes and
+//! correlated crash bursts.
+//!
+//! Usage: `availability [--scale F] [--seed S] [--out DIR]`
+
+use clash_sim::experiments::availability;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
+    let out_dir = report::out_dir_arg(&args);
+    let out = availability::run_seeded(scale, seed).expect("availability experiment failed");
+    println!("{}", availability::render(&out));
+    availability::write_csvs(&out, &out_dir).expect("write availability csv");
+}

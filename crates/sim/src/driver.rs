@@ -14,7 +14,7 @@
 //! packet events to a few million — while producing the identical load
 //! series a per-packet simulation would sample.
 
-use clash_core::cluster::{ClashCluster, MessageStats};
+use clash_core::cluster::{ClashCluster, FailureReport, MessageStats};
 use clash_core::config::ClashConfig;
 use clash_core::error::ClashError;
 use clash_core::ServerId;
@@ -93,6 +93,58 @@ pub struct PhaseSummary {
     pub max_depth: u32,
 }
 
+/// Crash-recovery aggregates over a run, accumulated from every
+/// [`FailureReport`] the membership events produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTotals {
+    /// Single-server crash events.
+    pub single_crashes: u64,
+    /// Correlated crash-burst events (each kills several servers at once).
+    pub burst_crashes: u64,
+    /// Groups recovered with full ledger state (replica promotion, or the
+    /// oracle crutch when the replication factor is 0).
+    pub groups_recovered: u64,
+    /// Groups genuinely lost (owner and all replicas died) and re-rooted
+    /// empty.
+    pub groups_lost: u64,
+    /// Recoveries deferred behind a partition at crash time.
+    pub groups_deferred: u64,
+    /// Groups lost by *single* crashes specifically — with `r ≥ 1` this
+    /// must be 0 (the availability experiment's acceptance gate).
+    pub single_crash_groups_lost: u64,
+    /// Stream sources lost with unrecoverable groups.
+    pub sources_lost: u64,
+    /// Continuous queries lost with unrecoverable groups.
+    pub queries_lost: u64,
+}
+
+impl RecoveryTotals {
+    fn absorb(&mut self, report: &FailureReport, burst: bool) {
+        if burst {
+            self.burst_crashes += 1;
+        } else {
+            self.single_crashes += 1;
+            self.single_crash_groups_lost += report.groups_lost as u64;
+        }
+        self.groups_recovered += report.groups_recovered as u64;
+        self.groups_lost += report.groups_lost as u64;
+        self.groups_deferred += report.groups_deferred as u64;
+        self.sources_lost += report.sources_lost as u64;
+        self.queries_lost += report.queries_lost as u64;
+    }
+
+    /// Fraction of crash-affected groups fully recovered (1.0 when no
+    /// crash touched any group).
+    pub fn recovery_success_rate(&self) -> f64 {
+        let total = self.groups_recovered + self.groups_lost;
+        if total == 0 {
+            1.0
+        } else {
+            self.groups_recovered as f64 / total as f64
+        }
+    }
+}
+
 /// The outcome of one scenario run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -114,8 +166,10 @@ pub struct RunResult {
     pub joins: u64,
     /// Servers that gracefully left during the run.
     pub leaves: u64,
-    /// Servers that crashed during the run.
+    /// Servers that crashed during the run (burst victims included).
     pub crashes: u64,
+    /// Crash-recovery aggregates (what was recovered, deferred, lost).
+    pub recovery: RecoveryTotals,
 }
 
 impl RunResult {
@@ -144,6 +198,9 @@ enum Ev {
     Leave,
     /// A server crashes.
     Crash,
+    /// A correlated burst: a server and its ring successors crash at
+    /// once.
+    CrashBurst,
 }
 
 /// Drives a [`ClashCluster`] through a [`ScenarioSpec`] under simulated
@@ -160,6 +217,7 @@ pub struct SimDriver {
     workloads: [Workload; 3],
     next_query_id: u64,
     crashes: u64,
+    recovery: RecoveryTotals,
     label: String,
 }
 
@@ -233,6 +291,7 @@ impl SimDriver {
             workloads,
             next_query_id: 0,
             crashes: 0,
+            recovery: RecoveryTotals::default(),
             label,
         })
     }
@@ -292,6 +351,10 @@ impl SimDriver {
                 let at = SimTime::ZERO + self.churn_interval(mean);
                 self.queue.schedule(at, Ev::Crash);
             }
+            if let Some(mean) = churn.mean_burst_interval {
+                let at = SimTime::ZERO + self.churn_interval(mean);
+                self.queue.schedule(at, Ev::CrashBurst);
+            }
             if let Some(flash) = churn.flash_crowd {
                 for i in 0..flash.joins {
                     let offset = SimDuration::from_micros(flash.spacing.as_micros() * i as u64);
@@ -312,6 +375,11 @@ impl SimDriver {
         while let Some((at, ev)) = self.queue.pop_before(end) {
             match ev {
                 Ev::KeyChange { source } => {
+                    if !self.cluster.has_source(source) {
+                        // The source's group was lost in an unrecoverable
+                        // crash: its client is gone and its stream ends.
+                        continue;
+                    }
                     let kind = self.current_workload();
                     let key = self.workloads[Self::workload_index(kind)]
                         .sample_key(self.config.key_width, &mut self.rng);
@@ -322,11 +390,24 @@ impl SimDriver {
                     self.queue.schedule(at + next, Ev::KeyChange { source });
                 }
                 Ev::QueryDeath { query } => {
-                    self.cluster.detach_query(query)?;
+                    if self.cluster.has_query(query) {
+                        self.cluster.detach_query(query)?;
+                    }
+                    // Renewal keeps the population constant even when the
+                    // query itself died with a lost group.
                     self.spawn_query(at)?;
                 }
                 Ev::LoadCheck => {
-                    self.cluster.run_load_check()?;
+                    let check = self.cluster.run_load_check()?;
+                    // A partition-deferred recovery resolves at some later
+                    // load check; fold its outcome into the totals so the
+                    // success rate (and the single-crash loss gate) counts
+                    // every crash-affected group and client.
+                    self.recovery.groups_recovered += check.recoveries_completed;
+                    self.recovery.groups_lost += check.recoveries_lost;
+                    self.recovery.single_crash_groups_lost += check.recoveries_lost_single;
+                    self.recovery.sources_lost += check.recovery_sources_lost;
+                    self.recovery.queries_lost += check.recovery_queries_lost;
                     self.queue
                         .schedule(at + self.spec.load_check_period, Ev::LoadCheck);
                 }
@@ -372,6 +453,14 @@ impl SimDriver {
                         self.queue.schedule(at + next, Ev::Crash);
                     }
                 }
+                Ev::CrashBurst => {
+                    let churn = churn.as_ref().expect("burst events require churn");
+                    self.membership_crash_burst(churn)?;
+                    if let Some(mean) = churn.mean_burst_interval {
+                        let next = self.churn_interval(mean);
+                        self.queue.schedule(at + next, Ev::CrashBurst);
+                    }
+                }
             }
         }
         // Final sample at the end boundary.
@@ -399,6 +488,7 @@ impl SimDriver {
             joins: stats.joins,
             leaves: stats.leaves,
             crashes: self.crashes,
+            recovery: self.recovery,
         };
         Ok((result, self.cluster))
     }
@@ -442,8 +532,28 @@ impl SimDriver {
         }
         let ids = self.cluster.server_ids();
         let victim = ids[self.churn_rng.uniform_index(ids.len())];
-        self.cluster.fail_server(victim)?;
+        let report = self.cluster.fail_server(victim)?;
         self.crashes += 1;
+        self.recovery.absorb(&report, false);
+        Ok(())
+    }
+
+    /// Crashes a random server *and* its ring successors simultaneously —
+    /// the correlated rack-failure case replication is measured against.
+    /// Skipped when the burst would breach the schedule floor.
+    fn membership_crash_burst(&mut self, churn: &ChurnSpec) -> Result<(), ClashError> {
+        let size = churn.burst_size.max(1);
+        let floor = churn.min_servers.max(1);
+        if self.cluster.server_count() < floor + size {
+            return Ok(());
+        }
+        let ids = self.cluster.server_ids();
+        let start = ids[self.churn_rng.uniform_index(ids.len())];
+        let mut victims = vec![start];
+        victims.extend(self.cluster.net().alive_successors(start, size - 1));
+        let report = self.cluster.fail_servers(&victims)?;
+        self.crashes += victims.len() as u64;
+        self.recovery.absorb(&report, true);
         Ok(())
     }
 
@@ -811,6 +921,49 @@ mod tests {
             "flash crowd multiplied the sustained join rate: {} joins",
             result.joins
         );
+    }
+
+    #[test]
+    fn crash_bursts_with_replication_run_end_to_end() {
+        // Sustained churn plus correlated bursts over a replicated
+        // cluster: the driver must absorb lost sources/queries (their key
+        // changes stop, query clients renew) and the recovery totals must
+        // account every crash-affected group.
+        let churn =
+            ChurnSpec::sustained(SimDuration::from_mins(4), SimDuration::from_mins(60), 8, 64)
+                .with_crashes(SimDuration::from_mins(4))
+                .with_crash_bursts(SimDuration::from_mins(5), 3);
+        let spec = ScenarioSpec {
+            churn: Some(churn),
+            query_clients: 20,
+            ..tiny_spec()
+        };
+        let config = ClashConfig {
+            replication_factor: 2,
+            ..tiny_config()
+        };
+        let (result, cluster) = SimDriver::new(config, spec)
+            .unwrap()
+            .run_with_cluster()
+            .unwrap();
+        assert!(result.crashes > 0, "crashes must fire");
+        let r = &result.recovery;
+        assert_eq!(
+            r.single_crashes + r.burst_crashes,
+            result.crashes - (r.burst_crashes * 2),
+            "burst victims counted: 3 servers per burst event"
+        );
+        assert_eq!(
+            r.single_crash_groups_lost, 0,
+            "single crashes with r = 2 never lose groups"
+        );
+        assert!(
+            r.groups_recovered > 0,
+            "crashes over a loaded cluster must recover groups"
+        );
+        assert_eq!(cluster.recovery_oracle_reads(), 0);
+        cluster.verify_consistency();
+        assert!(cluster.global_cover().is_partition());
     }
 
     #[test]

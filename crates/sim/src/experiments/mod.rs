@@ -5,6 +5,7 @@
 //! binaries in `src/bin/` are thin wrappers.
 
 pub mod ablation;
+pub mod availability;
 pub mod churn;
 pub mod demos;
 pub mod depth_conv;

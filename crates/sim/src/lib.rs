@@ -18,6 +18,7 @@
 //! | design-choice ablations | `ablation` | [`experiments::ablation`] |
 //! | live membership under churn | `churn` | [`experiments::churn`] |
 //! | latency / loss / partitions | `netfault` | [`experiments::netfault`] |
+//! | crash recovery vs replication factor | `availability` | [`experiments::availability`] |
 //!
 //! The central type is [`driver::SimDriver`]: it plays a
 //! [`clash_workload::scenario::ScenarioSpec`] against a
@@ -45,4 +46,4 @@ pub mod driver;
 pub mod experiments;
 pub mod report;
 
-pub use driver::{RunResult, SampleRow, SimDriver};
+pub use driver::{RecoveryTotals, RunResult, SampleRow, SimDriver};

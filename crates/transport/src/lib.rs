@@ -61,17 +61,24 @@ pub enum MessageClass {
     ReleaseKeygroup,
     /// A membership handoff (join/leave entry transfer).
     Handoff,
+    /// A `REPLICATE_KEYGROUP` seed/refresh/invalidate to a ring-successor
+    /// replica, or a recovery state fetch from one.
+    ReplicateKeygroup,
+    /// An `ACK_REPLICA` response (seed acknowledgement or fetched state).
+    AckReplica,
 }
 
 impl MessageClass {
     /// All classes, in stats order.
-    pub const ALL: [MessageClass; 6] = [
+    pub const ALL: [MessageClass; 8] = [
         MessageClass::Probe,
         MessageClass::ProbeResponse,
         MessageClass::LoadReport,
         MessageClass::AcceptKeygroup,
         MessageClass::ReleaseKeygroup,
         MessageClass::Handoff,
+        MessageClass::ReplicateKeygroup,
+        MessageClass::AckReplica,
     ];
 
     /// Stable index into per-class stats arrays.
@@ -83,6 +90,8 @@ impl MessageClass {
             MessageClass::AcceptKeygroup => 3,
             MessageClass::ReleaseKeygroup => 4,
             MessageClass::Handoff => 5,
+            MessageClass::ReplicateKeygroup => 6,
+            MessageClass::AckReplica => 7,
         }
     }
 
@@ -95,6 +104,8 @@ impl MessageClass {
             MessageClass::AcceptKeygroup => "accept-keygroup",
             MessageClass::ReleaseKeygroup => "release-keygroup",
             MessageClass::Handoff => "handoff",
+            MessageClass::ReplicateKeygroup => "replicate-keygroup",
+            MessageClass::AckReplica => "ack-replica",
         }
     }
 }
@@ -146,7 +157,7 @@ pub struct TransportStats {
     /// Sum of delivered end-to-end latency, in microseconds.
     pub total_latency_us: u64,
     /// Envelopes delivered, per [`MessageClass::index`].
-    pub per_class: [u64; 6],
+    pub per_class: [u64; 8],
 }
 
 impl TransportStats {
@@ -198,6 +209,15 @@ pub trait Transport: Send {
     /// True while a partition is in force.
     fn is_partitioned(&self) -> bool {
         false
+    }
+
+    /// True if a message from `src` could currently reach `dst` — a
+    /// side-effect-free connectivity probe (no message is charged, no
+    /// randomness drawn). Used by soft-state maintenance (replica payload
+    /// refresh) to decide whether an update can piggyback on in-flight
+    /// data-plane traffic. Default: always reachable.
+    fn reachable(&self, _src: NodeAddr, _dst: NodeAddr) -> bool {
+        true
     }
 
     /// True for the zero-latency direct-call transport (lets callers skip
@@ -285,7 +305,7 @@ mod tests {
 
     #[test]
     fn message_class_indices_are_distinct() {
-        let mut seen = [false; 6];
+        let mut seen = [false; 8];
         for c in MessageClass::ALL {
             assert!(!seen[c.index()], "duplicate index for {c:?}");
             seen[c.index()] = true;

@@ -164,6 +164,10 @@ impl Transport for LinkTransport {
     fn is_partitioned(&self) -> bool {
         self.partition.is_active()
     }
+
+    fn reachable(&self, src: NodeAddr, dst: NodeAddr) -> bool {
+        self.partition.connected(src, dst)
+    }
 }
 
 #[cfg(test)]
@@ -266,8 +270,13 @@ mod tests {
         assert!(t.send(99, 1, MessageClass::Probe).is_delivered());
         assert!(!t.send(99, 3, MessageClass::Probe).is_delivered());
         assert_eq!(t.stats().unreachable, 3);
+        // The side-effect-free probe agrees with send() without counting.
+        assert!(t.reachable(1, 2));
+        assert!(!t.reachable(1, 3));
+        assert_eq!(t.stats().unreachable, 3, "reachable() must not count");
         t.heal();
         assert!(!t.is_partitioned());
+        assert!(t.reachable(1, 3));
         assert!(t.send(1, 3, MessageClass::Probe).is_delivered());
     }
 

@@ -51,6 +51,14 @@ pub struct ChurnSpec {
     pub mean_leave_interval: Option<SimDuration>,
     /// Mean interval between crash failures; `None` disables crashes.
     pub mean_crash_interval: Option<SimDuration>,
+    /// Mean interval between *correlated crash bursts* — a random server
+    /// and its ring successors fail simultaneously (the rack-failure
+    /// case successor-list replication is measured against); `None`
+    /// disables bursts.
+    pub mean_burst_interval: Option<SimDuration>,
+    /// Servers taken out by each burst (the victim plus `burst_size - 1`
+    /// of its ring successors). Ignored without a burst interval.
+    pub burst_size: usize,
     /// Optional flash-crowd ramp on top of the sustained schedule.
     pub flash_crowd: Option<FlashCrowd>,
     /// Leaves and crashes never shrink the cluster below this.
@@ -72,6 +80,8 @@ impl ChurnSpec {
             mean_join_interval: Some(mean_join_interval),
             mean_leave_interval: Some(mean_leave_interval),
             mean_crash_interval: None,
+            mean_burst_interval: None,
+            burst_size: 2,
             flash_crowd: None,
             min_servers,
             max_servers,
@@ -85,6 +95,8 @@ impl ChurnSpec {
             mean_join_interval: None,
             mean_leave_interval: None,
             mean_crash_interval: None,
+            mean_burst_interval: None,
+            burst_size: 2,
             flash_crowd: Some(FlashCrowd { at, joins, spacing }),
             min_servers: 1,
             max_servers: usize::MAX,
@@ -99,11 +111,28 @@ impl ChurnSpec {
         }
     }
 
+    /// Adds correlated crash bursts: every ~`mean_burst_interval`, a
+    /// random server and `burst_size - 1` of its ring successors fail
+    /// *simultaneously*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_size` is zero.
+    pub fn with_crash_bursts(self, mean_burst_interval: SimDuration, burst_size: usize) -> Self {
+        assert!(burst_size > 0, "a crash burst needs at least one victim");
+        ChurnSpec {
+            mean_burst_interval: Some(mean_burst_interval),
+            burst_size,
+            ..self
+        }
+    }
+
     /// True if the schedule can ever fire a membership event.
     pub fn is_active(&self) -> bool {
         self.mean_join_interval.is_some()
             || self.mean_leave_interval.is_some()
             || self.mean_crash_interval.is_some()
+            || self.mean_burst_interval.is_some()
             || self.flash_crowd.is_some()
     }
 }
@@ -147,10 +176,30 @@ mod tests {
             mean_join_interval: None,
             mean_leave_interval: None,
             mean_crash_interval: None,
+            mean_burst_interval: None,
+            burst_size: 2,
             flash_crowd: None,
             min_servers: 1,
             max_servers: 1,
         };
         assert!(!c.is_active());
+    }
+
+    #[test]
+    fn crash_bursts_activate_the_schedule() {
+        let base = ChurnSpec {
+            mean_join_interval: None,
+            mean_leave_interval: None,
+            mean_crash_interval: None,
+            mean_burst_interval: None,
+            burst_size: 2,
+            flash_crowd: None,
+            min_servers: 4,
+            max_servers: 32,
+        };
+        let c = base.with_crash_bursts(SimDuration::from_mins(30), 3);
+        assert!(c.is_active());
+        assert_eq!(c.burst_size, 3);
+        assert_eq!(c.mean_burst_interval, Some(SimDuration::from_mins(30)));
     }
 }

@@ -12,9 +12,16 @@ fn key(bits: u64) -> Key {
     Key::from_bits_truncated(bits, ClashConfig::small_test().key_width)
 }
 
+/// The suite honors `CLASH_REPLICATION` (CI runs it at 0 and 2): every
+/// scenario here must hold both with the oracle crutch and with real
+/// successor-list replication.
+fn test_config() -> ClashConfig {
+    ClashConfig::small_test().with_replication(ClashConfig::replication_factor_from_env())
+}
+
 #[test]
 fn interleaved_crashes_and_workload() {
-    let mut cluster = ClashCluster::new(ClashConfig::small_test(), 20, 77).unwrap();
+    let mut cluster = ClashCluster::new(test_config(), 20, 77).unwrap();
     let mut rng = DetRng::new(42);
     let mut next_source = 0u64;
     let mut live: Vec<u64> = Vec::new();
@@ -75,7 +82,7 @@ fn crash_during_deep_split_state() {
     let mut cluster = ClashCluster::new(
         ClashConfig {
             capacity: 60.0,
-            ..ClashConfig::small_test()
+            ..test_config()
         },
         10,
         5,
@@ -129,7 +136,7 @@ fn elastic_capacity_under_sustained_load() {
     // The utility-computing loop: scale out under pressure (joins), scale
     // back in as demand fades (graceful drains), with crashes sprinkled
     // in — all while the workload keeps moving keys.
-    let mut cluster = ClashCluster::new(ClashConfig::small_test(), 8, 99).unwrap();
+    let mut cluster = ClashCluster::new(test_config(), 8, 99).unwrap();
     let mut rng = DetRng::new(7);
     let mut next_source = 0u64;
 
@@ -194,7 +201,7 @@ fn elastic_capacity_under_sustained_load() {
 
 #[test]
 fn sequential_crashes_preserve_all_data_plane_state() {
-    let mut cluster = ClashCluster::new(ClashConfig::small_test(), 12, 123).unwrap();
+    let mut cluster = ClashCluster::new(test_config(), 12, 123).unwrap();
     for i in 0..60u64 {
         cluster.attach_source(i, key(i * 4), 1.5).unwrap();
     }

@@ -40,7 +40,10 @@ fn pin_config() -> ClashConfig {
 
 /// `MessageStats` of the pre-transport direct-call code on `pin_spec()`,
 /// captured verbatim from the seed implementation. The default
-/// (instant-transport) cluster must reproduce every field bit-for-bit.
+/// (instant-transport, replication-factor-0) cluster must reproduce
+/// every field bit-for-bit — these are also the pre-*replication*
+/// constants: `r = 0` keeps the whole row, `replication_messages`
+/// included, identical.
 const PINNED: MessageStats = MessageStats {
     probes: 1267,
     probe_messages: 4674,
@@ -57,6 +60,7 @@ const PINNED: MessageStats = MessageStats {
     handoff_messages: 0,
     joins: 0,
     leaves: 0,
+    replication_messages: 0,
 };
 
 #[test]
@@ -103,6 +107,37 @@ fn same_seed_same_link_policy_same_run_result() {
     // pinned direct-call path.
     assert_eq!(r1.final_messages, PINNED);
     assert!(c1.transport_stats().retransmissions > 0);
+}
+
+#[test]
+fn replication_zero_is_bit_for_bit_pre_replication() {
+    // The regression pin for the replication subsystem: r = 0 on the
+    // instant transport reproduces the pre-replication constants exactly
+    // — same struct, same every-field equality, no masked counters.
+    let config = pin_config().with_replication(0);
+    let result = SimDriver::new(config, pin_spec()).unwrap().run().unwrap();
+    assert_eq!(result.final_messages, PINNED);
+    assert_eq!(result.recovery, clash_sim::RecoveryTotals::default());
+}
+
+#[test]
+fn replication_adds_only_replication_messages() {
+    // r = 2 on the same pinned scenario: every pre-existing counter stays
+    // bit-for-bit at the pinned value (replication draws no randomness
+    // and never perturbs protocol decisions); only the new
+    // `replication_messages` counter moves.
+    let config = pin_config().with_replication(2);
+    let result = SimDriver::new(config, pin_spec()).unwrap().run().unwrap();
+    let mut masked = result.final_messages;
+    assert!(
+        masked.replication_messages > 0,
+        "r = 2 must charge replication traffic"
+    );
+    masked.replication_messages = 0;
+    assert_eq!(
+        masked, PINNED,
+        "replication must not perturb any other counter"
+    );
 }
 
 #[test]
