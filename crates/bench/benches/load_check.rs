@@ -1,0 +1,79 @@
+//! The cluster-wide load check — the per-period hot path the
+//! dirty-tracking optimization targets.
+//!
+//! Three regimes:
+//!
+//! * **steady state** — nothing changed since the last check. Historically
+//!   O(cluster) (every server reclassified, every replica group
+//!   re-ensured); now O(1).
+//! * **trickle** — a few source moves between checks, the realistic
+//!   live-system regime: cost scales with the touched servers.
+//! * **replicated steady state** — same, with `r = 2` so the replica
+//!   sync path is in play.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_simkernel::rng::DetRng;
+use clash_workload::skew::{Workload, WorkloadKind};
+
+/// A paper-config ring with a light source population: nothing ever
+/// overloads, so the check's cost is pure sweep overhead.
+fn idle_cluster(servers: usize, replication: usize) -> ClashCluster {
+    let config = ClashConfig::paper().with_replication(replication);
+    let mut cluster = ClashCluster::new(config, servers, 11).expect("valid config");
+    let workload = Workload::paper(WorkloadKind::C);
+    let mut rng = DetRng::new(0xBE7C);
+    for i in 0..(servers / 2) as u64 {
+        let key = workload.sample_key(config.key_width, &mut rng);
+        cluster.attach_source(i, key, 2.0).expect("attach");
+    }
+    for _ in 0..3 {
+        cluster.run_load_check().expect("settle");
+    }
+    cluster
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut cluster = idle_cluster(1000, 0);
+    c.bench_function("load_check: steady state, 1000 servers, r=0", |b| {
+        b.iter(|| black_box(cluster.run_load_check().expect("check")))
+    });
+}
+
+fn bench_steady_state_replicated(c: &mut Criterion) {
+    let mut cluster = idle_cluster(1000, 2);
+    c.bench_function("load_check: steady state, 1000 servers, r=2", |b| {
+        b.iter(|| black_box(cluster.run_load_check().expect("check")))
+    });
+}
+
+fn bench_trickle(c: &mut Criterion) {
+    let mut cluster = idle_cluster(1000, 2);
+    let workload = Workload::paper(WorkloadKind::C);
+    let mut rng = DetRng::new(0x791C);
+    c.bench_function(
+        "load_check: 2 source moves + check, 1000 servers, r=2",
+        |b| {
+            b.iter(|| {
+                for _ in 0..2 {
+                    let source = rng.next_u64() % 500;
+                    if cluster.has_source(source) {
+                        let key = workload.sample_key(cluster.config().key_width, &mut rng);
+                        cluster.move_source(source, key).expect("move");
+                    }
+                }
+                black_box(cluster.run_load_check().expect("check"))
+            })
+        },
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_steady_state_replicated,
+    bench_trickle
+);
+criterion_main!(benches);

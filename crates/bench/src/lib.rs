@@ -10,6 +10,7 @@
 //! | `depth_search` | full client locate, fresh vs depth-hinted (§5) |
 //! | `query_index` | continuous-query matching & migration (§6 app) |
 //! | `split_merge` | binary splitting / consolidation actions (§4) |
+//! | `load_check` | per-period cluster-wide check: steady-state / trickle cost |
 //! | `figure_runs` | end-to-end simulation throughput per Figure 4/5 cell |
 //!
 //! # Quick start

@@ -1,5 +1,6 @@
 //! The in-process Chord network: routing, membership and maintenance.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -54,6 +55,21 @@ pub struct SimNet {
     nodes: BTreeMap<u64, ChordNode>,
     succ_list_len: usize,
     stats: NetStats,
+    /// Memoized first *alive* successor per node. Routing consults this
+    /// once per hop of every lookup; between membership/maintenance
+    /// events successor lists and liveness are static, so the walk down
+    /// the successor list is paid once per node instead of once per hop.
+    /// Any mutation that can change the answer (join, fail, removal,
+    /// stabilization, `build_stable`) clears the whole cache — those
+    /// events are rare next to lookups.
+    succ_cache: RefCell<BTreeMap<u64, ChordId>>,
+    /// Memoized alive node ids in ring order — what
+    /// [`SimNet::random_alive`] indexes into. Rebuilding this vector per
+    /// client entry-point draw was an O(ring) cost on *every* probe;
+    /// the cache is invalidated together with `succ_cache`, and the
+    /// indexing (same sorted order, same single `uniform_index` draw)
+    /// picks bit-for-bit the same node the rebuild would have.
+    alive_cache: RefCell<Option<Vec<ChordId>>>,
 }
 
 impl SimNet {
@@ -66,7 +82,17 @@ impl SimNet {
             nodes: BTreeMap::new(),
             succ_list_len: 8,
             stats: NetStats::default(),
+            succ_cache: RefCell::new(BTreeMap::new()),
+            alive_cache: RefCell::new(None),
         }
+    }
+
+    /// Drops every memoized first-alive-successor entry and the alive-id
+    /// vector. Called by every mutation that can change liveness or a
+    /// successor list.
+    fn invalidate_succ_cache(&self) {
+        self.succ_cache.borrow_mut().clear();
+        *self.alive_cache.borrow_mut() = None;
     }
 
     /// Sets the successor-list length (fault-tolerance depth).
@@ -112,6 +138,7 @@ impl SimNet {
             return false;
         }
         self.nodes.insert(id.value(), ChordNode::solitary(id));
+        self.invalidate_succ_cache();
         true
     }
 
@@ -145,7 +172,8 @@ impl SimNet {
     ///
     /// Panics if the ring has no alive nodes.
     pub fn random_alive(&self, rng: &mut DetRng) -> ChordId {
-        let ids = self.node_ids();
+        let mut cache = self.alive_cache.borrow_mut();
+        let ids = cache.get_or_insert_with(|| self.node_ids());
         assert!(!ids.is_empty(), "ring has no alive nodes");
         ids[rng.uniform_index(ids.len())]
     }
@@ -205,6 +233,7 @@ impl SimNet {
                 node.set_finger(k, f);
             }
         }
+        self.invalidate_succ_cache();
     }
 
     /// Pure routed lookup: resolves the successor of `h` starting at
@@ -285,11 +314,17 @@ impl SimNet {
     }
 
     fn first_alive_successor(&self, node: &ChordNode) -> ChordId {
-        node.successor_list()
+        if let Some(&cached) = self.succ_cache.borrow().get(&node.id().value()) {
+            return cached;
+        }
+        let succ = node
+            .successor_list()
             .iter()
             .copied()
             .find(|&s| self.is_alive(s))
-            .unwrap_or_else(|| node.id())
+            .unwrap_or_else(|| node.id());
+        self.succ_cache.borrow_mut().insert(node.id().value(), succ);
+        succ
     }
 
     /// The first `r` distinct *alive* ring successors of `id`, in
@@ -405,6 +440,7 @@ impl SimNet {
         for (k, f) in fingers.into_iter().enumerate() {
             node.set_finger(k, f);
         }
+        self.invalidate_succ_cache();
         Some(messages)
     }
 
@@ -415,6 +451,7 @@ impl SimNet {
         match self.nodes.get_mut(&id.value()) {
             Some(n) if n.is_alive() => {
                 n.mark_failed();
+                self.invalidate_succ_cache();
                 true
             }
             _ => false,
@@ -424,6 +461,7 @@ impl SimNet {
     /// Removes failed nodes' state entirely (garbage collection).
     pub fn remove_failed(&mut self) {
         self.nodes.retain(|_, n| n.is_alive());
+        self.invalidate_succ_cache();
     }
 
     /// Removes a node's state entirely — the graceful-departure model: the
@@ -432,7 +470,11 @@ impl SimNet {
     /// way a crashed host would). Survivors' pointers to it are repaired by
     /// the maintenance protocol. Returns false if the id is unknown.
     pub fn remove_node(&mut self, id: ChordId) -> bool {
-        self.nodes.remove(&id.value()).is_some()
+        let removed = self.nodes.remove(&id.value()).is_some();
+        if removed {
+            self.invalidate_succ_cache();
+        }
+        removed
     }
 
     /// One round of Chord stabilization over every alive node (in ring
@@ -483,13 +525,21 @@ impl SimNet {
         }
         list.dedup();
         list.truncate(self.succ_list_len);
-        let node = self.nodes.get_mut(&id.value()).expect("alive node");
-        if node.successor_list() != list.as_slice() {
-            node.set_successor_list(list);
+        let list_changed = {
+            let node = self.nodes.get_mut(&id.value()).expect("alive node");
+            if node.successor_list() != list.as_slice() {
+                node.set_successor_list(list);
+                true
+            } else {
+                false
+            }
+        };
+        if list_changed {
+            self.invalidate_succ_cache();
             changed = true;
         }
         // Drop a dead predecessor.
-        if let Some(p) = node.predecessor() {
+        if let Some(p) = self.nodes[&id.value()].predecessor() {
             if !self.nodes.get(&p.value()).is_some_and(|n| n.is_alive()) {
                 self.nodes
                     .get_mut(&id.value())

@@ -1,0 +1,163 @@
+//! A slot arena for the cluster's servers.
+//!
+//! The cluster used to keep its servers in a `BTreeMap<u64, ClashServer>`
+//! — every per-server access chased tree nodes holding the full (large)
+//! server value, and every load check snapshotted the key set into a
+//! fresh `Vec`. The arena stores the servers in a dense `Vec` of slots
+//! (freed slots are recycled) with a small `u64 → slot` index kept in a
+//! `BTreeMap`, so:
+//!
+//! * per-id access touches only the compact index tree plus one slot;
+//! * iteration stays **deterministic in ring-id order** (the index tree's
+//!   order), which the same-seed bit-for-bit reproducibility of the whole
+//!   simulator depends on;
+//! * slots of departed servers are reused, keeping the vector dense under
+//!   churn.
+
+use std::collections::BTreeMap;
+
+use crate::server::ClashServer;
+
+/// Dense storage for the cluster's servers, indexed by ring id, iterated
+/// in ring-id order (see the module docs).
+#[derive(Debug)]
+pub struct ServerArena {
+    slots: Vec<Option<ClashServer>>,
+    free: Vec<usize>,
+    index: BTreeMap<u64, usize>,
+}
+
+impl ServerArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ServerArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Number of live servers.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no servers are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True if `sid` names a live server.
+    pub fn contains(&self, sid: u64) -> bool {
+        self.index.contains_key(&sid)
+    }
+
+    /// The server with ring id `sid`.
+    pub fn get(&self, sid: u64) -> Option<&ClashServer> {
+        self.index
+            .get(&sid)
+            .map(|&slot| self.slots[slot].as_ref().expect("indexed slot is live"))
+    }
+
+    /// Mutable access to the server with ring id `sid`.
+    pub fn get_mut(&mut self, sid: u64) -> Option<&mut ClashServer> {
+        let slot = *self.index.get(&sid)?;
+        Some(self.slots[slot].as_mut().expect("indexed slot is live"))
+    }
+
+    /// Inserts a server under its own ring id. Returns false (leaving the
+    /// arena unchanged) if the id is already present.
+    pub fn insert(&mut self, server: ClashServer) -> bool {
+        let sid = server.id().value();
+        if self.index.contains_key(&sid) {
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(server);
+                slot
+            }
+            None => {
+                self.slots.push(Some(server));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(sid, slot);
+        true
+    }
+
+    /// Removes and returns the server with ring id `sid`, recycling its
+    /// slot.
+    pub fn remove(&mut self, sid: u64) -> Option<ClashServer> {
+        let slot = self.index.remove(&sid)?;
+        self.free.push(slot);
+        self.slots[slot].take()
+    }
+
+    /// Live ring ids, in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Live servers, in ascending ring-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClashServer> + '_ {
+        self.index
+            .values()
+            .map(|&slot| self.slots[slot].as_ref().expect("indexed slot is live"))
+    }
+}
+
+impl Default for ServerArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClashConfig;
+    use crate::ServerId;
+
+    fn server(v: u64) -> ClashServer {
+        let cfg = ClashConfig::small_test();
+        ClashServer::new(ServerId::new(v, cfg.hash_space), cfg)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = ServerArena::new();
+        assert!(a.is_empty());
+        assert!(a.insert(server(5)));
+        assert!(a.insert(server(3)));
+        assert!(!a.insert(server(5)), "duplicate ids are rejected");
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(3));
+        assert_eq!(a.get(5).unwrap().id().value(), 5);
+        assert!(a.get(99).is_none());
+        assert!(a.get_mut(3).is_some());
+        let removed = a.remove(5).unwrap();
+        assert_eq!(removed.id().value(), 5);
+        assert!(a.remove(5).is_none());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order_and_slots_recycle() {
+        let mut a = ServerArena::new();
+        for v in [9u64, 1, 7, 4] {
+            a.insert(server(v));
+        }
+        let order: Vec<u64> = a.ids().collect();
+        assert_eq!(order, vec![1, 4, 7, 9]);
+        let slots_before = {
+            a.remove(7);
+            a.insert(server(2));
+            // The freed slot was reused: no growth.
+            a.iter().count()
+        };
+        assert_eq!(slots_before, 4);
+        let order: Vec<u64> = a.iter().map(|s| s.id().value()).collect();
+        assert_eq!(order, vec![1, 2, 4, 9]);
+    }
+}

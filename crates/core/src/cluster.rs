@@ -24,6 +24,7 @@
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use clash_chord::id::ChordId;
 use clash_chord::net::SimNet;
@@ -35,6 +36,7 @@ use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::SimDuration;
 use clash_transport::{Delivery, InstantTransport, MessageClass, Transport, TransportStats};
 
+use crate::arena::ServerArena;
 use crate::client::{DepthSearch, SearchOutcome};
 use crate::config::ClashConfig;
 use crate::error::ClashError;
@@ -294,10 +296,15 @@ pub struct LoadCheckReport {
     pub recovery_queries_lost: u64,
 }
 
+/// Per-group data-plane state. The member lists live behind `Arc`s so
+/// replica payloads are O(1) snapshots: seeding `r` holders shares one
+/// allocation, and a later ledger mutation copies-on-write only if a
+/// replica still holds the old snapshot (at `r = 0` the `Arc`s are never
+/// shared, so `make_mut` never copies).
 #[derive(Debug, Clone, Default)]
 struct GroupLedger {
-    sources: Vec<u64>,
-    queries: Vec<u64>,
+    sources: Arc<Vec<u64>>,
+    queries: Arc<Vec<u64>>,
     rate: f64,
 }
 
@@ -328,7 +335,7 @@ pub struct ClashCluster {
     config: ClashConfig,
     hasher: SplitMixHasher,
     net: SimNet,
-    servers: BTreeMap<u64, ClashServer>,
+    servers: ServerArena,
     global_index: PrefixMap<ServerId>,
     ledgers: BTreeMap<Prefix, GroupLedger>,
     sources: BTreeMap<u64, SourceRec>,
@@ -358,6 +365,52 @@ pub struct ClashCluster {
     recovery_active: Cell<bool>,
     /// Oracle reads observed during crash recovery (see above).
     oracle_reads_in_recovery: Cell<u64>,
+    // ----- dirty-tracked load-check state --------------------------------
+    //
+    // The load check used to sweep every server every period. These
+    // incrementally-maintained candidate sets make its cost scale with
+    // what changed instead: every cluster path that mutates a server's
+    // table or load marks it dirty, and `refresh_candidates` folds the
+    // dirty set into the three candidate indices using the *same*
+    // classification functions the full sweep used — so candidate
+    // membership (and therefore every protocol decision) is bit-for-bit
+    // identical to a from-scratch scan. `verify_candidate_indices`
+    // asserts exactly that in debug builds, and a differential proptest
+    // pins it against the full-scan reference mode.
+    /// Servers whose load/table state changed since their last
+    /// classification.
+    dirty_servers: BTreeSet<u64>,
+    /// Servers currently classified overloaded (split candidates).
+    overloaded: BTreeSet<u64>,
+    /// Servers currently underloaded *and* holding at least one split
+    /// (inactive) entry — the only servers that can possibly merge.
+    mergeable: BTreeSet<u64>,
+    /// Servers owing at least one load report.
+    reporters: BTreeSet<u64>,
+    /// Groups whose replica placement needs (re-)ensuring: payload
+    /// under-replicated after a partition skip, or holders dropped by a
+    /// failed write-through. Steady-state groups whose placement is
+    /// complete are never touched by `sync_replicas`.
+    replica_dirty: BTreeSet<Prefix>,
+    /// Membership changed (join/leave/crash/deferred-recovery retry):
+    /// the next `sync_replicas` runs the full lease-expiry + placement
+    /// sweep instead of the dirty-group fast path.
+    replica_full_sync: bool,
+    /// Reference mode for differential tests: every load check marks all
+    /// servers dirty and full-syncs replicas, reproducing the historical
+    /// full-scan semantics from scratch each period.
+    full_scan_checks: bool,
+    /// `CLASH_VERIFY_EVERY`: run the debug-build consistency sweep on
+    /// every Nth `debug_verify` call (default 1 = every call; 0 = never).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    verify_every: u32,
+    /// Calls remaining until the next debug-build consistency sweep.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    verify_countdown: Cell<u32>,
+    /// Reused scratch for the report-delivery batch.
+    deliver_scratch: Vec<(ServerId, ServerId, Prefix, GroupLoad, bool, bool)>,
+    /// Reused scratch for full-sweep id snapshots.
+    ids_scratch: Vec<u64>,
 }
 
 impl ClashCluster {
@@ -399,10 +452,16 @@ impl ClashCluster {
         let mut ring_rng = root_rng.substream("ring");
         let mut net = SimNet::with_random_nodes(config.hash_space, n_servers, &mut ring_rng);
         net.build_stable();
-        let mut servers = BTreeMap::new();
+        let mut servers = ServerArena::new();
+        let mut dirty_servers = BTreeSet::new();
         for id in net.node_ids() {
-            servers.insert(id.value(), ClashServer::new(id, config));
+            servers.insert(ClashServer::new(id, config));
+            dirty_servers.insert(id.value());
         }
+        let verify_every = std::env::var("CLASH_VERIFY_EVERY")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1);
         let mut cluster = ClashCluster {
             config,
             hasher: SplitMixHasher::new(config.hash_space, config.hash_seed),
@@ -421,6 +480,17 @@ impl ClashCluster {
             pending_recovery: BTreeMap::new(),
             recovery_active: Cell::new(false),
             oracle_reads_in_recovery: Cell::new(0),
+            dirty_servers,
+            overloaded: BTreeSet::new(),
+            mergeable: BTreeSet::new(),
+            reporters: BTreeSet::new(),
+            replica_dirty: BTreeSet::new(),
+            replica_full_sync: false,
+            full_scan_checks: false,
+            verify_every,
+            verify_countdown: Cell::new(1),
+            deliver_scratch: Vec::new(),
+            ids_scratch: Vec::new(),
         };
         if cluster.config.splitting_enabled {
             cluster.bootstrap_initial_groups()?;
@@ -436,9 +506,10 @@ impl ClashCluster {
             let group = Prefix::new(pattern, depth, width)?;
             let owner = self.map_group(group);
             self.servers
-                .get_mut(&owner.value())
+                .get_mut(owner.value())
                 .expect("owner is a ring member")
                 .bootstrap_root(group)?;
+            self.mark_dirty(owner.value());
             self.global_index.insert(group, owner);
             self.ledgers.insert(group, GroupLedger::default());
             seeded.push((group, owner));
@@ -474,6 +545,127 @@ impl ClashCluster {
     fn oracle_owner(&self, group: Prefix) -> Option<ServerId> {
         self.count_oracle_read();
         self.global_index.get(group).copied()
+    }
+
+    // ----- dirty-tracked candidate indices -------------------------------
+
+    /// Marks a server's classification stale. Every cluster path that
+    /// mutates a server's table or load calls this; missing a site is a
+    /// bug that `verify_candidate_indices` (debug builds) and the
+    /// full-scan differential proptest catch.
+    fn mark_dirty(&mut self, sid_value: u64) {
+        self.dirty_servers.insert(sid_value);
+    }
+
+    /// Drops a departed server from every candidate index.
+    fn forget_server(&mut self, sid_value: u64) {
+        self.dirty_servers.remove(&sid_value);
+        self.overloaded.remove(&sid_value);
+        self.mergeable.remove(&sid_value);
+        self.reporters.remove(&sid_value);
+    }
+
+    /// Marks every live server dirty (construction, membership sweeps,
+    /// and the full-scan reference mode).
+    fn mark_all_dirty(&mut self) {
+        let ids: Vec<u64> = self.servers.ids().collect();
+        self.dirty_servers.extend(ids);
+    }
+
+    /// Folds the dirty set into the candidate indices, using exactly the
+    /// classification the historical full sweep applied per server:
+    /// [`ClashServer::load_level`] (recomputed from scratch, so float
+    /// summation order — and therefore every threshold comparison — is
+    /// identical to the pre-optimization code) plus the cheap structural
+    /// predicates for merge-ability and report-owing.
+    fn refresh_candidates(&mut self) {
+        if self.dirty_servers.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty_servers);
+        for sid in &dirty {
+            let sid = *sid;
+            let Some(server) = self.servers.get(sid) else {
+                self.overloaded.remove(&sid);
+                self.mergeable.remove(&sid);
+                self.reporters.remove(&sid);
+                continue;
+            };
+            let level = server.load_level();
+            let can_merge = level == LoadLevel::Underloaded && server.table().has_split_entries();
+            let owes = server.owes_reports();
+            if level == LoadLevel::Overloaded {
+                self.overloaded.insert(sid);
+            } else {
+                self.overloaded.remove(&sid);
+            }
+            if can_merge {
+                self.mergeable.insert(sid);
+            } else {
+                self.mergeable.remove(&sid);
+            }
+            if owes {
+                self.reporters.insert(sid);
+            } else {
+                self.reporters.remove(&sid);
+            }
+        }
+    }
+
+    /// Asserts that every *clean* (non-dirty) server's candidate-index
+    /// membership matches a from-scratch classification — the invariant
+    /// that makes the dirty-tracked load check equivalent to the
+    /// historical full sweep. Dirty servers are exempt: their stale
+    /// entries are refreshed before the next candidate is picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch (a missed `mark_dirty` site).
+    pub fn verify_candidate_indices(&self) {
+        for server in self.servers.iter() {
+            let sid = server.id().value();
+            if self.dirty_servers.contains(&sid) {
+                continue;
+            }
+            let level = server.load_level();
+            assert_eq!(
+                self.overloaded.contains(&sid),
+                level == LoadLevel::Overloaded,
+                "stale overloaded-index entry for {sid:#x}"
+            );
+            let can_merge = level == LoadLevel::Underloaded && server.table().has_split_entries();
+            assert_eq!(
+                self.mergeable.contains(&sid),
+                can_merge,
+                "stale mergeable-index entry for {sid:#x}"
+            );
+            assert_eq!(
+                self.reporters.contains(&sid),
+                server.owes_reports(),
+                "stale reporter-index entry for {sid:#x}"
+            );
+        }
+        for &sid in self
+            .overloaded
+            .iter()
+            .chain(self.mergeable.iter())
+            .chain(self.reporters.iter())
+        {
+            assert!(
+                self.servers.contains(sid) || self.dirty_servers.contains(&sid),
+                "candidate index names departed server {sid:#x}"
+            );
+        }
+    }
+
+    /// Reference mode for differential tests: when enabled, every load
+    /// check reclassifies *all* servers and full-syncs every replica
+    /// group from scratch — the historical O(cluster) sweep semantics.
+    /// The optimized dirty-tracked path must be bit-for-bit identical to
+    /// this mode on every seed; `tests/perf_equivalence.rs` and the
+    /// `dirty_tracked_load_checks_match_full_scan` proptest pin that.
+    pub fn set_full_scan_load_checks(&mut self, on: bool) {
+        self.full_scan_checks = on;
     }
 
     // ----- accessors ---------------------------------------------------
@@ -618,12 +810,12 @@ impl ClashCluster {
 
     /// All server identifiers.
     pub fn server_ids(&self) -> Vec<ServerId> {
-        self.servers.values().map(|s| s.id()).collect()
+        self.servers.iter().map(ClashServer::id).collect()
     }
 
     /// A server by identifier.
     pub fn server(&self, id: ServerId) -> Option<&ClashServer> {
-        self.servers.get(&id.value())
+        self.servers.get(id.value())
     }
 
     /// Number of servers.
@@ -634,7 +826,7 @@ impl ClashCluster {
     /// `(server, load)` for every server.
     pub fn server_loads(&self) -> Vec<(ServerId, f64)> {
         self.servers
-            .values()
+            .iter()
             .map(|s| (s.id(), s.current_load()))
             .collect()
     }
@@ -642,7 +834,7 @@ impl ClashCluster {
     /// Servers currently holding at least one active group.
     pub fn servers_with_groups(&self) -> usize {
         self.servers
-            .values()
+            .iter()
             .filter(|s| s.table().active_count() > 0)
             .count()
     }
@@ -722,7 +914,7 @@ impl ClashCluster {
             self.msgs.probe_messages += u64::from(lookup.hops) + 1;
             let responder = self
                 .servers
-                .get_mut(&lookup.owner.value())
+                .get_mut(lookup.owner.value())
                 .expect("owner is a ring member");
             let response = responder.handle_accept_object(key, guess);
             match search.record(guess, response)? {
@@ -758,10 +950,11 @@ impl ClashCluster {
         self.latency.locate.observe(ms(op_latency));
         let server = self
             .servers
-            .get_mut(&lookup.owner.value())
+            .get_mut(lookup.owner.value())
             .expect("owner is a ring member");
         if server.table().entry(group).is_none() {
             server.bootstrap_root(group)?;
+            self.mark_dirty(lookup.owner.value());
             self.global_index.insert(group, lookup.owner);
             self.ledgers.insert(group, GroupLedger::default());
             self.ensure_replicas(group, lookup.owner);
@@ -809,7 +1002,7 @@ impl ClashCluster {
         }
         let placement = self.locate_hinted(key, hint)?;
         let ledger = self.ledgers.entry(placement.group).or_default();
-        ledger.sources.push(source_id);
+        Arc::make_mut(&mut ledger.sources).push(source_id);
         ledger.rate += rate;
         self.sources.insert(
             source_id,
@@ -839,7 +1032,7 @@ impl ClashCluster {
             .ledgers
             .get_mut(&rec.group)
             .expect("attached source has a ledger");
-        ledger.sources.retain(|&s| s != source_id);
+        Arc::make_mut(&mut ledger.sources).retain(|&s| s != source_id);
         ledger.rate = (ledger.rate - rec.rate).max(0.0);
         self.push_group_load(rec.group)?;
         self.cleanup_baseline_group(rec.group)?;
@@ -866,9 +1059,10 @@ impl ClashCluster {
             self.global_index.remove(group);
             let server = self
                 .servers
-                .get_mut(&owner.value())
+                .get_mut(owner.value())
                 .ok_or(ClashError::UnknownServer { server: owner })?;
             let _ = server.handle_release_keygroup(group);
+            self.mark_dirty(owner.value());
         }
         Ok(())
     }
@@ -921,7 +1115,7 @@ impl ClashCluster {
         }
         let placement = self.locate(key)?;
         let ledger = self.ledgers.entry(placement.group).or_default();
-        ledger.queries.push(query_id);
+        Arc::make_mut(&mut ledger.queries).push(query_id);
         self.queries.insert(
             query_id,
             QueryRec {
@@ -949,7 +1143,7 @@ impl ClashCluster {
             .ledgers
             .get_mut(&rec.group)
             .expect("attached query has a ledger");
-        ledger.queries.retain(|&q| q != query_id);
+        Arc::make_mut(&mut ledger.queries).retain(|&q| q != query_id);
         self.push_group_load(rec.group)?;
         self.cleanup_baseline_group(rec.group)?;
         Ok(())
@@ -981,9 +1175,10 @@ impl ClashCluster {
             .map(|l| l.load())
             .unwrap_or_default();
         self.servers
-            .get_mut(&owner.value())
+            .get_mut(owner.value())
             .ok_or(ClashError::UnknownServer { server: owner })?
             .set_group_load(group, load)?;
+        self.mark_dirty(owner.value());
         if self.replication_enabled() {
             self.refresh_replica_payloads(group, owner);
         }
@@ -1004,13 +1199,16 @@ impl ClashCluster {
     // unreachable holder is simply skipped and re-seeded by the periodic
     // sync after healing.
 
-    /// The current ledger of `group` as a replica payload.
+    /// The current ledger of `group` as a replica payload. O(1): the
+    /// member lists are shared `Arc` snapshots, cloned per holder by
+    /// reference count only — the write-through path copies-on-write at
+    /// the *next* ledger mutation instead of deep-cloning per seed.
     fn replica_payload(&self, group: Prefix, owner: ServerId) -> ReplicaRecord {
         let ledger = self.ledgers.get(&group);
         ReplicaRecord {
             owner,
-            sources: ledger.map(|l| l.sources.clone()).unwrap_or_default(),
-            queries: ledger.map(|l| l.queries.clone()).unwrap_or_default(),
+            sources: ledger.map(|l| Arc::clone(&l.sources)).unwrap_or_default(),
+            queries: ledger.map(|l| Arc::clone(&l.queries)).unwrap_or_default(),
         }
     }
 
@@ -1027,7 +1225,7 @@ impl ClashCluster {
         // Owning the primary supersedes any copy this server once held as
         // a ring successor of a previous owner.
         self.servers
-            .get_mut(&owner.value())
+            .get_mut(owner.value())
             .expect("owner is a live server")
             .replica_store_mut()
             .drop_held(group);
@@ -1035,7 +1233,10 @@ impl ClashCluster {
             .net
             .alive_successors(owner, self.config.replication_factor);
         let desired_len = desired.len();
-        let previous: Vec<ServerId> = self.servers[&owner.value()]
+        let previous: Vec<ServerId> = self
+            .servers
+            .get(owner.value())
+            .expect("owner is a live server")
             .replica_store()
             .placed(group)
             .to_vec();
@@ -1043,7 +1244,7 @@ impl ClashCluster {
         let mut placed = Vec::with_capacity(desired.len());
         for holder in desired {
             let already = previous.contains(&holder)
-                && self.servers.get(&holder.value()).is_some_and(|s| {
+                && self.servers.get(holder.value()).is_some_and(|s| {
                     s.replica_store()
                         .held(group)
                         .is_some_and(|r| r.owner == owner)
@@ -1059,7 +1260,7 @@ impl ClashCluster {
                 self.msgs.replication_messages += 2;
                 self.latency.replication.observe(ms(lat));
                 self.servers
-                    .get_mut(&holder.value())
+                    .get_mut(holder.value())
                     .expect("reachable holder is a live server")
                     .replica_store_mut()
                     .store(group, payload.clone());
@@ -1072,7 +1273,7 @@ impl ClashCluster {
         // never invalidate what may be the last replica.
         let fully_placed = placed.len() == desired_len;
         for stale in previous {
-            if placed.contains(&stale) || !self.servers.contains_key(&stale.value()) {
+            if placed.contains(&stale) || !self.servers.contains(stale.value()) {
                 continue; // dead holders' copies died with them
             }
             if !fully_placed {
@@ -1083,14 +1284,20 @@ impl ClashCluster {
             if self.transport_send(owner, stale, MessageClass::ReplicateKeygroup, &mut lat) {
                 self.msgs.replication_messages += 1;
                 self.servers
-                    .get_mut(&stale.value())
+                    .get_mut(stale.value())
                     .expect("liveness checked")
                     .replica_store_mut()
                     .drop_held(group);
             }
         }
+        if !fully_placed {
+            // A partition deferred part of the set: keep the group on the
+            // periodic sync's worklist until placement completes (the
+            // historical full sweep retried every group every period).
+            self.replica_dirty.insert(group);
+        }
         self.servers
-            .get_mut(&owner.value())
+            .get_mut(owner.value())
             .expect("owner is a live server")
             .replica_store_mut()
             .set_placed(group, placed);
@@ -1106,24 +1313,27 @@ impl ClashCluster {
         if !self.replication_enabled() {
             return;
         }
-        let Some(owner_server) = self.servers.get_mut(&owner.value()) else {
+        let Some(owner_server) = self.servers.get_mut(owner.value()) else {
             return;
         };
         let holders = owner_server.replica_store_mut().take_placed(group);
         for holder in holders {
-            if !self.servers.contains_key(&holder.value()) {
+            if !self.servers.contains(holder.value()) {
                 continue; // dead holders' copies died with them
             }
             let mut lat = SimDuration::ZERO;
             if self.transport_send(owner, holder, MessageClass::ReplicateKeygroup, &mut lat) {
                 self.msgs.replication_messages += 1;
                 self.servers
-                    .get_mut(&holder.value())
+                    .get_mut(holder.value())
                     .expect("liveness checked")
                     .replica_store_mut()
                     .drop_held(group);
             }
         }
+        // The group is gone from this owner; whatever retry state it had
+        // is obsolete.
+        self.replica_dirty.remove(&group);
     }
 
     /// Write-through refresh: pushes the current ledger of `group` to the
@@ -1133,25 +1343,35 @@ impl ClashCluster {
     /// is dropped from the registry (its copy goes stale) and re-seeded
     /// by the periodic sync after healing.
     fn refresh_replica_payloads(&mut self, group: Prefix, owner: ServerId) {
-        let holders: Vec<ServerId> = self.servers[&owner.value()]
+        let holders: Vec<ServerId> = self
+            .servers
+            .get(owner.value())
+            .expect("owner is a live server")
             .replica_store()
             .placed(group)
             .to_vec();
         if holders.is_empty() {
             return;
         }
+        let holder_count = holders.len();
         let payload = self.replica_payload(group, owner);
         let mut kept = Vec::with_capacity(holders.len());
         for holder in holders {
             if self.transport.reachable(owner.value(), holder.value()) {
-                if let Some(s) = self.servers.get_mut(&holder.value()) {
+                if let Some(s) = self.servers.get_mut(holder.value()) {
                     s.replica_store_mut().store(group, payload.clone());
                     kept.push(holder);
                 }
             }
         }
+        if kept.len() != holder_count {
+            // A holder went unreachable (or died): its copy goes stale and
+            // the group needs re-seeding once the periodic sync can reach
+            // a replacement.
+            self.replica_dirty.insert(group);
+        }
         self.servers
-            .get_mut(&owner.value())
+            .get_mut(owner.value())
             .expect("owner is a live server")
             .replica_store_mut()
             .set_placed(group, kept);
@@ -1171,12 +1391,39 @@ impl ClashCluster {
         if !self.replication_enabled() {
             return;
         }
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        if !self.replica_full_sync {
+            // Steady state: no owner died and no membership changed since
+            // the last sync, so lease expiry would be a no-op and every
+            // fully-placed group's re-ensure would send nothing. Only the
+            // groups whose placement is actually incomplete need work.
+            if self.replica_dirty.is_empty() {
+                return;
+            }
+            let dirty = std::mem::take(&mut self.replica_dirty);
+            for group in dirty {
+                // The group may have been split/merged away (its replicas
+                // were invalidated inline) or be awaiting a deferred
+                // recovery; only currently active groups re-ensure.
+                let Some(owner) = self.global_index.get(group).copied() else {
+                    continue;
+                };
+                self.ensure_replicas(group, owner);
+            }
+            return;
+        }
+        // Membership changed: the historical full sweep — expire held
+        // replicas whose owner left the ring, then re-ensure every active
+        // group against its owner's current successor list.
+        self.replica_full_sync = false;
+        self.replica_dirty.clear();
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.servers.ids());
         let pending: BTreeSet<Prefix> = self.pending_recovery.keys().copied().collect();
         for &sid in &ids {
             let net = &self.net;
             self.servers
-                .get_mut(&sid)
+                .get_mut(sid)
                 .expect("snapshotted id")
                 .replica_store_mut()
                 .expire_held(|group, owner| pending.contains(&group) || net.is_alive(owner));
@@ -1184,10 +1431,11 @@ impl ClashCluster {
         // Re-ensure placement for every active group, owner by owner.
         let mut work: Vec<(Prefix, ServerId)> = Vec::new();
         for &sid in &ids {
-            let server = &self.servers[&sid];
+            let server = self.servers.get(sid).expect("snapshotted id");
             let owner = server.id();
             work.extend(server.table().active_groups().map(|e| (e.group, owner)));
         }
+        self.ids_scratch = ids;
         for (group, owner) in work {
             self.ensure_replicas(group, owner);
         }
@@ -1204,6 +1452,12 @@ impl ClashCluster {
     /// Propagates protocol invariant violations (none occur in correct
     /// operation; the tests rely on this).
     pub fn run_load_check(&mut self) -> Result<LoadCheckReport, ClashError> {
+        if self.full_scan_checks {
+            // Reference mode: reclassify everything from scratch, exactly
+            // like the historical per-period sweep.
+            self.mark_all_dirty();
+            self.replica_full_sync = true;
+        }
         let mut report = LoadCheckReport::default();
         if self.replication_enabled() {
             self.retry_deferred_recoveries(&mut report)?;
@@ -1212,12 +1466,23 @@ impl ClashCluster {
             self.sync_replicas();
             return Ok(report);
         }
+        self.refresh_candidates();
         self.deliver_load_reports();
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
-        for &sid_value in &ids {
+        // Split phase. The historical sweep walked every server in
+        // ascending id order, splitting while overloaded; walking the
+        // overloaded candidate set behind an ascending cursor visits
+        // exactly the same servers in the same order — a server that
+        // becomes overloaded mid-phase is picked up iff its id is still
+        // ahead of the cursor, just as the full walk would have.
+        let mut cursor = 0u64;
+        loop {
+            self.refresh_candidates();
+            let Some(&sid_value) = self.overloaded.range(cursor..).next() else {
+                break;
+            };
             let mut splits_done = 0;
             while splits_done < self.max_splits_per_check {
-                let server = &self.servers[&sid_value];
+                let server = self.servers.get(sid_value).expect("candidates are live");
                 if server.load_level() != LoadLevel::Overloaded {
                     break;
                 }
@@ -1229,11 +1494,23 @@ impl ClashCluster {
                     None => break,
                 }
             }
+            let Some(next) = sid_value.checked_add(1) else {
+                break;
+            };
+            cursor = next;
         }
-        for &sid_value in &ids {
+        // Merge phase, same cursor discipline over the mergeable set
+        // (underloaded servers holding at least one split entry — the
+        // only ones the full walk could have done anything with).
+        let mut cursor = 0u64;
+        loop {
+            self.refresh_candidates();
+            let Some(&sid_value) = self.mergeable.range(cursor..).next() else {
+                break;
+            };
             let mut merges_done = 0;
             while merges_done < self.max_merges_per_check {
-                let server = &self.servers[&sid_value];
+                let server = self.servers.get(sid_value).expect("candidates are live");
                 if server.load_level() != LoadLevel::Underloaded {
                     break;
                 }
@@ -1253,6 +1530,10 @@ impl ClashCluster {
                     MergeOutcome::NoCandidate => break,
                 }
             }
+            let Some(next) = sid_value.checked_add(1) else {
+                break;
+            };
+            cursor = next;
         }
         self.sync_replicas();
         self.debug_verify();
@@ -1260,16 +1541,19 @@ impl ClashCluster {
     }
 
     fn deliver_load_reports(&mut self) {
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
-        let mut deliveries: Vec<(ServerId, ServerId, Prefix, GroupLoad, bool, bool)> = Vec::new();
-        for &sid_value in &ids {
-            let server = &self.servers[&sid_value];
+        // Only servers in the reporter candidate set are visited — the
+        // others would have contributed nothing to the historical full
+        // sweep. The scratch batch is reused across periods.
+        let mut deliveries = std::mem::take(&mut self.deliver_scratch);
+        deliveries.clear();
+        for &sid_value in &self.reporters {
+            let server = self.servers.get(sid_value).expect("reporters are live");
             let own_id = server.id();
-            for (dest, group, load, is_leaf) in server.pending_reports() {
+            server.for_each_pending_report(|dest, group, load, is_leaf| {
                 deliveries.push((own_id, dest, group, load, is_leaf, dest != own_id));
-            }
+            });
         }
-        for (src, dest, group, load, is_leaf, remote) in deliveries {
+        for &(src, dest, group, load, is_leaf, remote) in &deliveries {
             if remote {
                 let mut latency = SimDuration::ZERO;
                 if !self.transport_send(src, dest, MessageClass::LoadReport, &mut latency) {
@@ -1280,10 +1564,11 @@ impl ClashCluster {
                 self.msgs.report_messages += 1;
                 self.latency.report.observe(ms(latency));
             }
-            if let Some(server) = self.servers.get_mut(&dest.value()) {
+            if let Some(server) = self.servers.get_mut(dest.value()) {
                 server.handle_load_report(group, load, is_leaf);
             }
         }
+        self.deliver_scratch = deliveries;
     }
 
     /// Splits the hottest group of `sid_value`, placing the right child via
@@ -1297,8 +1582,9 @@ impl ClashCluster {
     /// terminal self-map would leave it — so every committed split is
     /// reported.
     fn try_split(&mut self, sid_value: u64) -> Result<Option<SplitRecord>, ClashError> {
-        let server_id = self.servers[&sid_value].id();
-        let Some(hot) = self.servers[&sid_value].hottest_splittable() else {
+        let splitter = self.servers.get(sid_value).expect("server exists");
+        let server_id = splitter.id();
+        let Some(hot) = splitter.hottest_splittable() else {
             return Ok(None);
         };
         let mut group = hot;
@@ -1352,9 +1638,10 @@ impl ClashCluster {
 
             let (left, right) = self
                 .servers
-                .get_mut(&sid_value)
+                .get_mut(sid_value)
                 .expect("server exists")
                 .split_group(group)?;
+            self.mark_dirty(sid_value);
             debug_assert_eq!(right, right_prefix);
             self.msgs.splits += 1;
             self.msgs.split_messages += u64::from(lookup.hops);
@@ -1368,11 +1655,11 @@ impl ClashCluster {
             self.global_index.remove(group);
             self.global_index.insert(left, server_id);
             self.servers
-                .get_mut(&sid_value)
+                .get_mut(sid_value)
                 .expect("server exists")
                 .set_group_load(left, left_load)?;
             self.servers
-                .get_mut(&sid_value)
+                .get_mut(sid_value)
                 .expect("server exists")
                 .set_right_child(group, target)?;
             // The parent entry went inactive: retire its replicas and
@@ -1389,7 +1676,7 @@ impl ClashCluster {
                 // retry is local — so it must not be charged as one.
                 self.msgs.self_mapped_retries += 1;
                 self.servers
-                    .get_mut(&sid_value)
+                    .get_mut(sid_value)
                     .expect("server exists")
                     .handle_accept_keygroup(right, server_id, right_load)?;
                 self.global_index.insert(right, server_id);
@@ -1401,7 +1688,7 @@ impl ClashCluster {
             if self_mapped {
                 // At max depth and still self-mapped: keep the group.
                 self.servers
-                    .get_mut(&sid_value)
+                    .get_mut(sid_value)
                     .expect("server exists")
                     .handle_accept_keygroup(right, server_id, right_load)?;
                 self.global_index.insert(right, server_id);
@@ -1411,9 +1698,10 @@ impl ClashCluster {
                 self.msgs.state_transfer_messages += right_queries;
                 self.msgs.redirect_messages += right_sources;
                 self.servers
-                    .get_mut(&target.value())
+                    .get_mut(target.value())
                     .ok_or(ClashError::UnknownServer { server: target })?
                     .handle_accept_keygroup(right, server_id, right_load)?;
+                self.mark_dirty(target.value());
                 self.global_index.insert(right, target);
             }
             let right_home = if self_mapped { server_id } else { target };
@@ -1437,46 +1725,62 @@ impl ClashCluster {
     ) -> (GroupLedger, GroupLedger) {
         let ledger = self.ledgers.remove(&group).unwrap_or_default();
         let bit_index = group.depth();
-        let mut left_ledger = GroupLedger::default();
-        let mut right_ledger = GroupLedger::default();
-        for sid in ledger.sources {
+        let mut left_rate = 0.0;
+        let mut right_rate = 0.0;
+        let mut left_sources = Vec::new();
+        let mut right_sources = Vec::new();
+        let mut left_queries = Vec::new();
+        let mut right_queries = Vec::new();
+        for &sid in ledger.sources.iter() {
             let rec = self.sources.get_mut(&sid).expect("ledger member exists");
             if rec.key.bit(bit_index) == 0 {
                 rec.group = left;
-                left_ledger.rate += rec.rate;
-                left_ledger.sources.push(sid);
+                left_rate += rec.rate;
+                left_sources.push(sid);
             } else {
                 rec.group = right;
-                right_ledger.rate += rec.rate;
-                right_ledger.sources.push(sid);
+                right_rate += rec.rate;
+                right_sources.push(sid);
             }
         }
-        for qid in ledger.queries {
+        for &qid in ledger.queries.iter() {
             let rec = self.queries.get_mut(&qid).expect("ledger member exists");
             if rec.key.bit(bit_index) == 0 {
                 rec.group = left;
-                left_ledger.queries.push(qid);
+                left_queries.push(qid);
             } else {
                 rec.group = right;
-                right_ledger.queries.push(qid);
+                right_queries.push(qid);
             }
         }
-        (left_ledger, right_ledger)
+        (
+            GroupLedger {
+                sources: Arc::new(left_sources),
+                queries: Arc::new(left_queries),
+                rate: left_rate,
+            },
+            GroupLedger {
+                sources: Arc::new(right_sources),
+                queries: Arc::new(right_queries),
+                rate: right_rate,
+            },
+        )
     }
 
     fn try_merge(&mut self, sid_value: u64) -> Result<MergeOutcome, ClashError> {
-        let server_id = self.servers[&sid_value].id();
-        let Some((parent, right_holder, _combined)) = self.servers[&sid_value].merge_candidate()
-        else {
+        let merger = self.servers.get(sid_value).expect("server exists");
+        let server_id = merger.id();
+        let Some((parent, right_holder, _combined)) = merger.merge_candidate() else {
             return Ok(MergeOutcome::NoCandidate);
         };
         let (left, right) = parent.split().expect("candidate parents were split");
         if right_holder == server_id {
             // Both children local: no messages.
             self.servers
-                .get_mut(&sid_value)
+                .get_mut(sid_value)
                 .expect("server exists")
                 .merge_group(parent, GroupLoad::zero())?;
+            self.mark_dirty(sid_value);
         } else {
             // The RELEASE_KEYGROUP round trip must be deliverable before
             // anything mutates; a partitioned child simply defers the
@@ -1499,11 +1803,12 @@ impl ClashCluster {
             self.msgs.merge_messages += 2; // RELEASE_KEYGROUP + response
             let response = self
                 .servers
-                .get_mut(&right_holder.value())
+                .get_mut(right_holder.value())
                 .ok_or(ClashError::UnknownServer {
                     server: right_holder,
                 })?
                 .handle_release_keygroup(right);
+            self.mark_dirty(right_holder.value());
             match response {
                 ReleaseResponse::Released { load } => {
                     let right_ledger = self.ledgers.get(&right);
@@ -1512,9 +1817,10 @@ impl ClashCluster {
                     self.msgs.state_transfer_messages += right_queries;
                     self.msgs.redirect_messages += right_sources;
                     self.servers
-                        .get_mut(&sid_value)
+                        .get_mut(sid_value)
                         .expect("server exists")
                         .merge_group(parent, load)?;
+                    self.mark_dirty(sid_value);
                 }
                 ReleaseResponse::Refused => {
                     // The report that motivated this merge is stale. Drop
@@ -1523,7 +1829,7 @@ impl ClashCluster {
                     // and would otherwise be asked to release every period
                     // forever, starving this server's other merges.
                     self.servers
-                        .get_mut(&sid_value)
+                        .get_mut(sid_value)
                         .expect("server exists")
                         .table_mut()
                         .clear_child_report(parent);
@@ -1535,25 +1841,39 @@ impl ClashCluster {
         // Merge the ledgers and update the oracle.
         let left_ledger = self.ledgers.remove(&left).unwrap_or_default();
         let right_ledger = self.ledgers.remove(&right).unwrap_or_default();
-        let mut merged = GroupLedger {
-            rate: left_ledger.rate + right_ledger.rate,
-            ..GroupLedger::default()
-        };
-        for sid in left_ledger.sources.into_iter().chain(right_ledger.sources) {
+        let rate = left_ledger.rate + right_ledger.rate;
+        let mut merged_sources = Vec::new();
+        let mut merged_queries = Vec::new();
+        for &sid in left_ledger
+            .sources
+            .iter()
+            .chain(right_ledger.sources.iter())
+        {
             self.sources
                 .get_mut(&sid)
                 .expect("ledger member exists")
                 .group = parent;
-            merged.sources.push(sid);
+            merged_sources.push(sid);
         }
-        for qid in left_ledger.queries.into_iter().chain(right_ledger.queries) {
+        for &qid in left_ledger
+            .queries
+            .iter()
+            .chain(right_ledger.queries.iter())
+        {
             self.queries
                 .get_mut(&qid)
                 .expect("ledger member exists")
                 .group = parent;
-            merged.queries.push(qid);
+            merged_queries.push(qid);
         }
-        self.ledgers.insert(parent, merged);
+        self.ledgers.insert(
+            parent,
+            GroupLedger {
+                sources: Arc::new(merged_sources),
+                queries: Arc::new(merged_queries),
+                rate,
+            },
+        );
         self.global_index.remove(left);
         self.global_index.remove(right);
         self.global_index.insert(parent, server_id);
@@ -1604,8 +1924,8 @@ impl ClashCluster {
         // Join lookup + finger seeding, plus the announcement itself.
         self.msgs.handoff_messages += u64::from(join_msgs) + 1;
         let rounds = self.net.stabilize_until_converged(256);
-        self.servers
-            .insert(new_id.value(), ClashServer::new(new_id, self.config));
+        self.servers.insert(ClashServer::new(new_id, self.config));
+        self.mark_dirty(new_id.value());
         self.msgs.joins += 1;
         // Every entry whose Map() owner is now the new node currently
         // sits on the new node's ring successor (the placement invariant
@@ -1618,7 +1938,10 @@ impl ClashCluster {
             .expect("ring is non-empty");
         if successor != new_id {
             let sid = successor.value();
-            let groups: Vec<Prefix> = self.servers[&sid]
+            let groups: Vec<Prefix> = self
+                .servers
+                .get(sid)
+                .expect("successor is a member")
                 .table()
                 .entries()
                 .filter(|e| self.map_group(e.group) == new_id)
@@ -1627,18 +1950,20 @@ impl ClashCluster {
             for g in groups {
                 let entry = self
                     .servers
-                    .get_mut(&sid)
+                    .get_mut(sid)
                     .expect("successor is a member")
                     .table_mut()
                     .extract_entry(g)
                     .expect("snapshotted entry");
                 to_move.push(entry);
             }
+            self.mark_dirty(sid);
         }
         let tally = self.migrate_entries(successor, to_move)?;
         // Membership changed every successor set around the new node:
         // re-replicate immediately (the join announcement triggers it),
         // like any DHT store would.
+        self.replica_full_sync = true;
         self.sync_replicas();
         self.debug_verify();
         Ok(JoinReport {
@@ -1690,8 +2015,9 @@ impl ClashCluster {
         }
         let server = self
             .servers
-            .remove(&victim.value())
+            .remove(victim.value())
             .ok_or(ClashError::UnknownServer { server: victim })?;
+        self.forget_server(victim.value());
         let entries: Vec<TableEntry> = server.table().entries().cloned().collect();
         // The departure announcement to the ring successor.
         self.msgs.handoff_messages += 1;
@@ -1702,6 +2028,7 @@ impl ClashCluster {
         // The leaver's held replicas vanished with it: re-replicate
         // immediately so no group waits out a load-check period
         // under-protected.
+        self.replica_full_sync = true;
         self.sync_replicas();
         self.debug_verify();
         Ok(LeaveReport {
@@ -1755,13 +2082,14 @@ impl ClashCluster {
             {
                 let dest_server = self
                     .servers
-                    .get_mut(&dest.value())
+                    .get_mut(dest.value())
                     .ok_or(ClashError::UnknownServer { server: dest })?;
                 dest_server.table_mut().install_entry(entry)?;
                 // The new owner may have been one of the group's replica
                 // holders; owning the primary supersedes the copy.
                 dest_server.replica_store_mut().drop_held(group);
             }
+            self.mark_dirty(dest.value());
             if active {
                 // The group changed owners: the old replica set (placed
                 // by `from`) retires and the new owner seeds its own. A
@@ -1773,17 +2101,23 @@ impl ClashCluster {
         }
         let mut parents_repointed = 0;
         let mut right_children_repointed = 0;
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
-        for sid in ids {
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.servers.ids());
+        for &sid in &ids {
+            // Re-points only rewrite pointer destinations (never a group's
+            // activity, load, or report-owing status), so they need no
+            // dirty mark.
             let (p, r) = self
                 .servers
-                .get_mut(&sid)
+                .get_mut(sid)
                 .expect("snapshotted id")
                 .table_mut()
                 .repoint_moved_entries(|g| moved_to.get(&g).copied());
             parents_repointed += p;
             right_children_repointed += r;
         }
+        self.ids_scratch = ids;
         // Each re-point is one notification message.
         self.msgs.handoff_messages += (parents_repointed + right_children_repointed) as u64;
         Ok(MigrationTally {
@@ -1858,15 +2192,16 @@ impl ClashCluster {
             });
         }
         for v in victims {
-            if !self.servers.contains_key(&v.value()) {
+            if !self.servers.contains(v.value()) {
                 return Err(ClashError::UnknownServer { server: *v });
             }
         }
         let corpses: Vec<ClashServer> = victims
             .iter()
-            .map(|v| self.servers.remove(&v.value()).expect("membership checked"))
+            .map(|v| self.servers.remove(v.value()).expect("membership checked"))
             .collect();
         for v in victims {
+            self.forget_server(v.value());
             self.net.fail(*v);
         }
         self.net.stabilize_until_converged(256);
@@ -1894,6 +2229,7 @@ impl ClashCluster {
         // Failure-triggered re-replication: survivors whose holders died
         // with the victims re-seed now, not a load-check period later —
         // this is what keeps *sequential* single crashes lossless.
+        self.replica_full_sync = true;
         self.sync_replicas();
         self.debug_verify();
         Ok(report)
@@ -1917,9 +2253,10 @@ impl ClashCluster {
                 let new_owner = self.map_group(group);
                 debug_assert_ne!(new_owner, victim);
                 self.servers
-                    .get_mut(&new_owner.value())
+                    .get_mut(new_owner.value())
                     .expect("ring member")
                     .bootstrap_root(group)?;
+                self.mark_dirty(new_owner.value());
                 self.global_index.insert(group, new_owner);
                 let ledger = self.ledgers.entry(group).or_default();
                 self.msgs.state_transfer_messages += ledger.queries.len() as u64;
@@ -1931,14 +2268,14 @@ impl ClashCluster {
         }
         // Repair dangling pointers on every survivor, resolving right
         // children against the post-reassignment oracle.
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        let ids: Vec<u64> = self.servers.ids().collect();
         for corpse in corpses {
             let victim = corpse.id();
             for &sid in &ids {
                 let index = &self.global_index;
                 let active = &self.recovery_active;
                 let reads = &self.oracle_reads_in_recovery;
-                let server = self.servers.get_mut(&sid).expect("snapshotted id");
+                let server = self.servers.get_mut(sid).expect("snapshotted id");
                 let (orphans, repairs) =
                     server.table_mut().repair_after_peer_failure(victim, |g| {
                         if active.get() {
@@ -1948,6 +2285,11 @@ impl ClashCluster {
                     });
                 report.orphaned_parents += orphans;
                 report.repaired_right_children += repairs;
+                if orphans > 0 {
+                    // Orphaning turns `parent = victim` entries into
+                    // roots, which stop owing reports.
+                    self.mark_dirty(sid);
+                }
             }
         }
         Ok(())
@@ -1989,16 +2331,19 @@ impl ClashCluster {
         // announcements — local knowledge from this recovery, never the
         // oracle. Deferred and vanished groups resolve to nothing, so the
         // dangling pointer clears.
-        let ids: Vec<u64> = self.servers.keys().copied().collect();
+        let ids: Vec<u64> = self.servers.ids().collect();
         for corpse in corpses {
             let victim = corpse.id();
             for &sid in &ids {
-                let server = self.servers.get_mut(&sid).expect("snapshotted id");
+                let server = self.servers.get_mut(sid).expect("snapshotted id");
                 let (orphans, repairs) = server
                     .table_mut()
                     .repair_after_peer_failure(victim, |g| promotions.get(&g).copied());
                 report.orphaned_parents += orphans;
                 report.repaired_right_children += repairs;
+                if orphans > 0 {
+                    self.mark_dirty(sid);
+                }
             }
         }
         Ok(())
@@ -2051,7 +2396,7 @@ impl ClashCluster {
         let mask = self.config.hash_space.mask();
         let mut candidates: Vec<ServerId> = self
             .servers
-            .values()
+            .iter()
             .filter(|s| {
                 s.replica_store()
                     .held(group)
@@ -2067,7 +2412,10 @@ impl ClashCluster {
                 // common single-crash case. Reading it crosses no
                 // network, so nothing is charged (like every other local
                 // delivery in the harness).
-                fetched = self.servers[&holder.value()]
+                fetched = self
+                    .servers
+                    .get(holder.value())
+                    .expect("candidate holders are live")
                     .replica_store()
                     .held(group)
                     .cloned();
@@ -2079,7 +2427,10 @@ impl ClashCluster {
             {
                 self.msgs.replication_messages += 2;
                 self.latency.replication.observe(ms(lat));
-                fetched = self.servers[&holder.value()]
+                fetched = self
+                    .servers
+                    .get(holder.value())
+                    .expect("candidate holders are live")
                     .replica_store()
                     .held(group)
                     .cloned();
@@ -2120,8 +2471,8 @@ impl ClashCluster {
                 }
                 let rate: f64 = sources.iter().map(|s| self.sources[s].rate).sum();
                 let ledger = GroupLedger {
-                    sources,
-                    queries,
+                    sources: Arc::new(sources),
+                    queries: Arc::new(queries),
                     rate,
                 };
                 let load = ledger.load();
@@ -2131,11 +2482,12 @@ impl ClashCluster {
                 {
                     let server = self
                         .servers
-                        .get_mut(&new_owner.value())
+                        .get_mut(new_owner.value())
                         .expect("ring member");
                     server.bootstrap_root(group)?;
                     server.set_group_load(group, load)?;
                 }
+                self.mark_dirty(new_owner.value());
                 self.global_index.insert(group, new_owner);
                 self.pending_recovery.remove(&group);
                 // Re-protect immediately: the survivors of a burst must
@@ -2175,9 +2527,10 @@ impl ClashCluster {
                 report.queries_lost += live_queries.len();
                 self.ledgers.insert(group, GroupLedger::default());
                 self.servers
-                    .get_mut(&new_owner.value())
+                    .get_mut(new_owner.value())
                     .expect("ring member")
                     .bootstrap_root(group)?;
+                self.mark_dirty(new_owner.value());
                 self.global_index.insert(group, new_owner);
                 self.pending_recovery.remove(&group);
                 self.ensure_replicas(group, new_owner);
@@ -2199,6 +2552,10 @@ impl ClashCluster {
         if self.pending_recovery.is_empty() {
             return Ok(());
         }
+        // Deferred recoveries change the pending set (which the lease
+        // expiry predicate reads) and re-home groups: the sync riding
+        // this load check must run the full sweep.
+        self.replica_full_sync = true;
         let pending: Vec<(Prefix, PendingRecovery)> = self
             .pending_recovery
             .iter()
@@ -2347,7 +2704,7 @@ impl ClashCluster {
         }
         // 2. Every active entry is in the global index.
         let mut total_active = 0;
-        for server in self.servers.values() {
+        for server in self.servers.iter() {
             server.table().check_invariants().expect("table invariants");
             for e in server.table().active_groups() {
                 total_active += 1;
@@ -2378,17 +2735,17 @@ impl ClashCluster {
         }
         // 4. Ledger membership matches member records.
         for (group, ledger) in &self.ledgers {
-            for sid in &ledger.sources {
+            for sid in ledger.sources.iter() {
                 assert_eq!(&self.sources[sid].group, group);
             }
-            for qid in &ledger.queries {
+            for qid in ledger.queries.iter() {
                 assert_eq!(&self.queries[qid].group, group);
             }
         }
         // 5. Every table entry sits on its group's current Map() owner —
         // the placement invariant that membership handoffs (join/leave)
         // and crash recovery must all preserve.
-        for server in self.servers.values() {
+        for server in self.servers.iter() {
             for e in server.table().entries() {
                 assert_eq!(
                     self.map_group(e.group),
@@ -2425,18 +2782,40 @@ impl ClashCluster {
                         .unwrap_or_else(|| panic!("{holder} lost its replica of {group}"));
                     assert_eq!(rec.owner, owner, "replica of {group} names a stale owner");
                     let (sources, queries) = ledger
-                        .map(|l| (l.sources.clone(), l.queries.clone()))
-                        .unwrap_or_default();
-                    assert_eq!(rec.sources, sources, "stale replica ledger for {group}");
-                    assert_eq!(rec.queries, queries, "stale replica ledger for {group}");
+                        .map(|l| (l.sources.as_slice(), l.queries.as_slice()))
+                        .unwrap_or((&[], &[]));
+                    assert_eq!(
+                        rec.sources.as_slice(),
+                        sources,
+                        "stale replica ledger for {group}"
+                    );
+                    assert_eq!(
+                        rec.queries.as_slice(),
+                        queries,
+                        "stale replica ledger for {group}"
+                    );
                 }
             }
         }
     }
 
+    /// Debug-build consistency sweep, sampled by `CLASH_VERIFY_EVERY`:
+    /// with the default of 1 every call verifies (the historical
+    /// behavior); `N > 1` verifies every Nth call so debug-build runs at
+    /// thousands of servers stay feasible; `0` disables the sweep.
     #[cfg(debug_assertions)]
     fn debug_verify(&self) {
+        if self.verify_every == 0 {
+            return;
+        }
+        let left = self.verify_countdown.get();
+        if left > 1 {
+            self.verify_countdown.set(left - 1);
+            return;
+        }
+        self.verify_countdown.set(self.verify_every);
         self.verify_consistency();
+        self.verify_candidate_indices();
     }
 
     #[cfg(not(debug_assertions))]
@@ -2452,7 +2831,7 @@ enum MergeOutcome {
 impl std::fmt::Debug for ClashCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClashCluster")
-            .field("servers", &self.servers.len())
+            .field("servers", &self.server_count())
             .field("groups", &self.global_index.len())
             .field("sources", &self.sources.len())
             .field("queries", &self.queries.len())

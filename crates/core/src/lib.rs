@@ -49,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod arena;
 pub mod client;
 pub mod cluster;
 pub mod config;

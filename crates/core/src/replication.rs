@@ -22,6 +22,8 @@
 //! accounting) lives in `ClashCluster`, keeping the server I/O-free like
 //! the rest of the protocol state.
 
+use std::sync::Arc;
+
 use clash_keyspace::cover::PrefixMap;
 use clash_keyspace::key::KeyWidth;
 use clash_keyspace::prefix::Prefix;
@@ -40,10 +42,13 @@ pub struct ReplicaRecord {
     /// crashed server that actively held the group — a stale record left
     /// behind by a deferred invalidation can never be promoted.
     pub owner: ServerId,
-    /// Source ids attached to the group.
-    pub sources: Vec<u64>,
-    /// Continuous-query ids attached to the group.
-    pub queries: Vec<u64>,
+    /// Source ids attached to the group. Shared-snapshot semantics: the
+    /// owner's write-through hands every holder the same `Arc`, so
+    /// seeding `r` replicas never deep-clones the ledger (the ledger
+    /// copies-on-write at its next mutation instead).
+    pub sources: Arc<Vec<u64>>,
+    /// Continuous-query ids attached to the group (same sharing).
+    pub queries: Arc<Vec<u64>>,
 }
 
 /// A server's replication state: replicas held for peers, plus the
@@ -152,8 +157,8 @@ mod tests {
     fn rec(owner: u64) -> ReplicaRecord {
         ReplicaRecord {
             owner: sid(owner),
-            sources: vec![1, 2],
-            queries: vec![9],
+            sources: Arc::new(vec![1, 2]),
+            queries: Arc::new(vec![9]),
         }
     }
 

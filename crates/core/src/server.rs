@@ -336,17 +336,36 @@ impl ClashServer {
     /// are included; root groups report to nobody.
     pub fn pending_reports(&self) -> Vec<(ServerId, Prefix, GroupLoad, bool)> {
         let mut reports = Vec::new();
+        self.for_each_pending_report(|dest, group, load, is_leaf| {
+            reports.push((dest, group, load, is_leaf));
+        });
+        reports
+    }
+
+    /// Visits every pending report in table order without allocating —
+    /// the cluster's report-delivery path appends into a reused scratch
+    /// buffer through this.
+    pub fn for_each_pending_report(
+        &self,
+        mut visit: impl FnMut(ServerId, Prefix, GroupLoad, bool),
+    ) {
         for entry in self.table.entries() {
-            match entry.parent {
-                ParentRef::Root => {}
-                ParentRef::Server(parent_server) => {
-                    if entry.group.last_bit() == Some(1) {
-                        reports.push((parent_server, entry.group, entry.load, entry.active));
-                    }
+            if let ParentRef::Server(parent_server) = entry.parent {
+                if entry.group.last_bit() == Some(1) {
+                    visit(parent_server, entry.group, entry.load, entry.active);
                 }
             }
         }
-        reports
+    }
+
+    /// True if [`ClashServer::pending_reports`] would be non-empty. The
+    /// cluster maintains its reporter candidate set from this, so the
+    /// per-period delivery sweep touches only servers that actually owe
+    /// reports.
+    pub fn owes_reports(&self) -> bool {
+        self.table
+            .entries()
+            .any(|e| matches!(e.parent, ParentRef::Server(_)) && e.group.last_bit() == Some(1))
     }
 
     /// Depth statistics over this server's active groups:

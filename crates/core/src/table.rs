@@ -146,6 +146,14 @@ impl ServerTable {
         self.map.iter().filter(|(_, e)| e.active).count()
     }
 
+    /// True if the table holds at least one inactive (split) entry —
+    /// the precondition for this server having any merge candidate at
+    /// all. The cluster's load check uses this to skip underloaded
+    /// servers that trivially cannot consolidate.
+    pub fn has_split_entries(&self) -> bool {
+        self.map.iter().any(|(_, e)| !e.active)
+    }
+
     /// Iterates over all entries in binary-string order.
     pub fn entries(&self) -> impl Iterator<Item = &TableEntry> {
         self.map.iter().map(|(_, e)| e)

@@ -715,6 +715,14 @@ impl SimDriver {
     pub fn cluster(&self) -> &ClashCluster {
         &self.cluster
     }
+
+    /// Mutable access to the cluster *before* the run starts — used by
+    /// the equivalence suites to flip test-only knobs (e.g.
+    /// [`ClashCluster::set_full_scan_load_checks`]) on an otherwise
+    /// identical scenario.
+    pub fn cluster_mut(&mut self) -> &mut ClashCluster {
+        &mut self.cluster
+    }
 }
 
 #[cfg(test)]

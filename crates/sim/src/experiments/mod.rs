@@ -14,6 +14,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod netfault;
 pub mod range_queries;
+pub mod scale;
 pub mod servers_saved;
 
 use clash_core::config::ClashConfig;

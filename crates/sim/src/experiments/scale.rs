@@ -1,0 +1,503 @@
+//! Scale experiment (beyond the paper's evaluation): mechanical cost of
+//! the protocol core as the ring grows past the paper's largest cell.
+//!
+//! The paper's headline claim is *internet scale*, yet its evaluation
+//! stops at 1000 servers (Figure 4). This experiment sweeps ring sizes
+//! from the paper's cell up through ~10× it, under churn and a WAN
+//! transport, and reports the *simulator-mechanical* cost — wall-clock,
+//! events per wall-second, and the cost of one cluster-wide load check —
+//! so every future PR has a perf trajectory to answer to
+//! (`BENCH_scale.json` at the repo root).
+//!
+//! Two cell families:
+//!
+//! * **churn cells** — the full driver loop: workload C for 30 virtual
+//!   minutes over `N ∈ {1000, 4000, 10000}` servers (scaled by
+//!   `--scale`), sustained joins/drains/crashes, replication r = 2, WAN
+//!   links. Wall-clock here mixes locates, key churn, membership and
+//!   load checks — the end-to-end number.
+//! * **load-check cells** — the isolated hot path this repo's perf work
+//!   targets: a mostly idle ring (sources ≪ servers, nothing ever
+//!   overloads) where a fixed budget of `run_load_check` calls, with a
+//!   trickle of source moves between them, dominates the wall-clock.
+//!   Before the dirty-tracking optimization each check swept every
+//!   server and every replica group (O(cluster)); after it the cost
+//!   scales with what actually changed.
+//!
+//! All cells are deterministic for a fixed `--seed`; only the wall-clock
+//! fields vary between runs of the same build.
+
+use std::time::Instant;
+
+use clash_core::cluster::ClashCluster;
+use clash_core::config::ClashConfig;
+use clash_core::error::ClashError;
+use clash_simkernel::rng::DetRng;
+use clash_simkernel::time::SimDuration;
+use clash_transport::{LinkPolicy, LinkTransport};
+use clash_workload::churn::ChurnSpec;
+use clash_workload::scenario::{Phase, ScenarioSpec};
+use clash_workload::skew::{Workload, WorkloadKind};
+
+use crate::driver::SimDriver;
+use crate::report;
+
+/// Which mechanical regime a cell measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// Full driver run under churn: locates + key churn + membership +
+    /// load checks.
+    Churn,
+    /// Isolated load-check loop on a mostly idle ring: the
+    /// O(cluster)-vs-O(changed) cell.
+    LoadCheck,
+}
+
+impl CellKind {
+    fn name(self) -> &'static str {
+        match self {
+            CellKind::Churn => "churn",
+            CellKind::LoadCheck => "loadcheck",
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleCell {
+    /// `churn_<servers>` or `loadcheck_<servers>`.
+    pub name: String,
+    /// The regime measured.
+    pub kind: CellKind,
+    /// Ring size at the start of the run.
+    pub servers: usize,
+    /// Streaming sources attached.
+    pub sources: usize,
+    /// Work units: driver events for churn cells; load checks + source
+    /// moves for load-check cells.
+    pub events: u64,
+    /// Wall-clock of the measured section, milliseconds.
+    pub wall_ms: f64,
+    /// `events / wall seconds` — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Cluster-wide load checks performed in the measured section.
+    pub load_checks: u64,
+    /// Mean wall-clock cost of one load check, milliseconds, timed
+    /// around the `run_load_check` calls alone (the inter-check source
+    /// moves are excluded). Load-check cells only; 0 for churn cells,
+    /// whose checks are folded into `events`.
+    pub mean_check_ms: f64,
+    /// Splits performed.
+    pub splits: u64,
+    /// Merges performed.
+    pub merges: u64,
+    /// Membership events (joins + leaves + crashes; churn cells only).
+    pub membership_events: u64,
+    /// 95th-percentile locate latency over the whole run, virtual ms.
+    pub locate_p95_ms: f64,
+}
+
+/// The scale experiment's output.
+#[derive(Debug, Clone)]
+pub struct ScaleOutput {
+    /// All cells, churn sweep first, then load-check cells.
+    pub cells: Vec<ScaleCell>,
+    /// Scale factor applied to the ring sizes.
+    pub scale: f64,
+    /// Root seed in force.
+    pub seed: u64,
+}
+
+impl ScaleOutput {
+    /// The smallest `events_per_sec` across load-check cells — the number
+    /// the CI perf-smoke floor is checked against (the load-check cells
+    /// are the regime this repo's perf work targets, and the least noisy:
+    /// no population build-up in the measured section).
+    pub fn min_loadcheck_events_per_sec(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::LoadCheck)
+            .map(|c| c.events_per_sec)
+            .min_by(f64::total_cmp)
+    }
+}
+
+/// Default root seed (overridable with `--seed`).
+pub const DEFAULT_SEED: u64 = 0xC1A5_5CA1;
+
+/// Ring sizes of the churn sweep at `--scale 1.0`: the paper's Figure-4
+/// cell and up to ~10× it.
+pub const CHURN_RING_SIZES: [usize; 3] = [1000, 4000, 10_000];
+
+/// Ring sizes of the load-check cells at `--scale 1.0`.
+pub const LOADCHECK_RING_SIZES: [usize; 2] = [4000, 10_000];
+
+/// Load checks timed per load-check cell.
+pub const LOADCHECK_CHECKS: u64 = 200;
+
+/// Source moves between consecutive timed load checks (keeps a trickle
+/// of real dirt flowing, as any live system would have).
+pub const LOADCHECK_MOVES_PER_CHECK: u64 = 2;
+
+fn scaled(n: usize, scale: f64, floor: usize) -> usize {
+    ((n as f64 * scale).round() as usize).max(floor)
+}
+
+/// One full-driver churn cell: `servers` ring, 10 sources per server,
+/// workload C for 30 virtual minutes with sustained churn, r = 2, WAN.
+fn churn_cell(servers: usize, seed: u64) -> Result<ScaleCell, ClashError> {
+    let sources = servers * 10;
+    // 10 sources/server is a tenth of the paper's density; scale the
+    // capacity with it so split/merge dynamics match the paper's regime.
+    let config = ClashConfig {
+        capacity: ClashConfig::paper().capacity * 0.1,
+        ..ClashConfig::paper()
+    }
+    .with_replication(2);
+    let spec = ScenarioSpec {
+        servers,
+        sources,
+        query_clients: 0,
+        phases: vec![Phase {
+            workload: WorkloadKind::C,
+            duration: SimDuration::from_mins(30),
+        }],
+        load_check_period: SimDuration::from_secs(60),
+        sample_period: SimDuration::from_mins(5),
+        seed,
+        churn: Some(
+            ChurnSpec::sustained(
+                SimDuration::from_mins(10),
+                SimDuration::from_mins(12),
+                (servers / 2).max(2),
+                servers * 2,
+            )
+            .with_crashes(SimDuration::from_mins(20)),
+        ),
+        ..ScenarioSpec::paper()
+    };
+    let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), seed));
+    let label = format!("scale/churn_{servers}");
+    // Derived, not hardcoded, so retuning the phase duration or check
+    // period above cannot silently skew the reported column.
+    let load_checks = spec.total_duration().as_micros() / spec.load_check_period.as_micros();
+    let t0 = Instant::now();
+    let (result, cluster) =
+        SimDriver::with_transport(config, spec, label, transport)?.run_with_cluster()?;
+    let wall = t0.elapsed();
+    cluster.verify_consistency();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Ok(ScaleCell {
+        name: format!("churn_{servers}"),
+        kind: CellKind::Churn,
+        servers,
+        sources,
+        events: result.events,
+        wall_ms,
+        events_per_sec: result.events as f64 / wall.as_secs_f64().max(1e-9),
+        load_checks,
+        mean_check_ms: 0.0,
+        splits: result.splits,
+        merges: result.merges,
+        membership_events: result.joins + result.leaves + result.crashes,
+        locate_p95_ms: cluster
+            .latency_metrics()
+            .locate
+            .quantile(0.95)
+            .unwrap_or(0.0),
+    })
+}
+
+/// One load-check cell: a `servers` ring with `servers / 2` sources —
+/// nothing ever overloads — timing [`LOADCHECK_CHECKS`] cluster-wide
+/// checks with [`LOADCHECK_MOVES_PER_CHECK`] source moves between each.
+fn loadcheck_cell(servers: usize, seed: u64) -> Result<ScaleCell, ClashError> {
+    let sources = (servers / 2).max(8);
+    let config = ClashConfig::paper().with_replication(2);
+    let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), seed ^ 0x10AD));
+    let mut cluster = ClashCluster::with_transport(config, servers, seed, transport)?;
+    let workload = Workload::paper(WorkloadKind::C);
+    let mut rng = DetRng::new(seed ^ 0x5CA1_E0AD);
+    for i in 0..sources as u64 {
+        let key = workload.sample_key(config.key_width, &mut rng);
+        cluster.attach_source(i, key, 2.0)?;
+    }
+    // Settle: reports flow, replicas seed, candidate state converges.
+    for _ in 0..3 {
+        cluster.run_load_check()?;
+    }
+
+    let t0 = Instant::now();
+    let mut moves = 0u64;
+    // `mean_check_ms` accumulates around the checks *only*: the source
+    // moves between checks keep realistic dirt flowing but their WAN
+    // locate cost must not be attributed to the load-check hot path.
+    let mut check_wall = std::time::Duration::ZERO;
+    for _ in 0..LOADCHECK_CHECKS {
+        for _ in 0..LOADCHECK_MOVES_PER_CHECK {
+            let source = rng.next_u64() % sources as u64;
+            if cluster.has_source(source) {
+                let key = workload.sample_key(config.key_width, &mut rng);
+                cluster.move_source(source, key)?;
+                moves += 1;
+            }
+        }
+        let c0 = Instant::now();
+        cluster.run_load_check()?;
+        check_wall += c0.elapsed();
+    }
+    let wall = t0.elapsed();
+    cluster.verify_consistency();
+    let stats = cluster.message_stats();
+    Ok(ScaleCell {
+        name: format!("loadcheck_{servers}"),
+        kind: CellKind::LoadCheck,
+        servers,
+        sources,
+        events: LOADCHECK_CHECKS + moves,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: (LOADCHECK_CHECKS + moves) as f64 / wall.as_secs_f64().max(1e-9),
+        load_checks: LOADCHECK_CHECKS,
+        mean_check_ms: check_wall.as_secs_f64() * 1e3 / LOADCHECK_CHECKS as f64,
+        splits: stats.splits,
+        merges: stats.merges,
+        membership_events: 0,
+        locate_p95_ms: cluster
+            .latency_metrics()
+            .locate
+            .quantile(0.95)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Runs the full sweep at `scale` with the default seed.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run(scale: f64) -> Result<ScaleOutput, ClashError> {
+    run_seeded(scale, None)
+}
+
+/// [`run`] with an optional root seed override.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<ScaleOutput, ClashError> {
+    let seed = seed.unwrap_or(DEFAULT_SEED);
+    let mut cells = Vec::new();
+    for &n in &CHURN_RING_SIZES {
+        let servers = scaled(n, scale, 16);
+        eprintln!("[scale] churn cell: {servers} servers...");
+        cells.push(churn_cell(servers, seed)?);
+    }
+    for &n in &LOADCHECK_RING_SIZES {
+        let servers = scaled(n, scale, 32);
+        eprintln!("[scale] load-check cell: {servers} servers...");
+        cells.push(loadcheck_cell(servers, seed)?);
+    }
+    Ok(ScaleOutput { cells, scale, seed })
+}
+
+/// Renders the sweep as an ASCII table.
+pub fn render(out: &ScaleOutput) -> String {
+    let mut s = format!(
+        "Scale — mechanical cost up to ~10x the paper's Figure-4 cell \
+         (scale {}, seed {:#x}):\n",
+        out.scale, out.seed
+    );
+    let rows: Vec<Vec<String>> = out
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.servers.to_string(),
+                c.sources.to_string(),
+                c.events.to_string(),
+                report::f1(c.wall_ms),
+                report::f1(c.events_per_sec),
+                c.load_checks.to_string(),
+                if c.kind == CellKind::LoadCheck {
+                    format!("{:.3}", c.mean_check_ms)
+                } else {
+                    "-".to_owned()
+                },
+                c.splits.to_string(),
+                c.merges.to_string(),
+                c.membership_events.to_string(),
+                report::f1(c.locate_p95_ms),
+            ]
+        })
+        .collect();
+    s.push_str(&report::ascii_table(
+        &[
+            "cell",
+            "servers",
+            "sources",
+            "events",
+            "wall ms",
+            "events/s",
+            "checks",
+            "ms/check",
+            "splits",
+            "merges",
+            "membership",
+            "locate p95 ms",
+        ],
+        &rows,
+    ));
+    s
+}
+
+/// Writes `scale.csv` (one row per cell).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csvs(out: &ScaleOutput, dir: &str) -> std::io::Result<()> {
+    let rows: Vec<Vec<String>> = out
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.kind.name().to_owned(),
+                c.servers.to_string(),
+                c.sources.to_string(),
+                c.events.to_string(),
+                format!("{:.3}", c.wall_ms),
+                format!("{:.1}", c.events_per_sec),
+                c.load_checks.to_string(),
+                format!("{:.4}", c.mean_check_ms),
+                c.splits.to_string(),
+                c.merges.to_string(),
+                c.membership_events.to_string(),
+                format!("{:.2}", c.locate_p95_ms),
+            ]
+        })
+        .collect();
+    report::write_csv(
+        format!("{dir}/scale.csv"),
+        &[
+            "cell",
+            "kind",
+            "servers",
+            "sources",
+            "events",
+            "wall_ms",
+            "events_per_sec",
+            "load_checks",
+            "mean_check_ms",
+            "splits",
+            "merges",
+            "membership_events",
+            "locate_p95_ms",
+        ],
+        &rows,
+    )
+}
+
+/// Serializes the sweep as the `BENCH_scale.json` trajectory format:
+/// one JSON object with a `cells` array. Wall-clock fields are the only
+/// machine-dependent values; everything else is deterministic for a
+/// fixed seed.
+pub fn to_bench_json(out: &ScaleOutput) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"scale\",\n");
+    s.push_str(&format!("  \"scale\": {},\n", out.scale));
+    s.push_str(&format!("  \"seed\": {},\n", out.seed));
+    s.push_str(&format!(
+        "  \"min_loadcheck_events_per_sec\": {:.1},\n",
+        out.min_loadcheck_events_per_sec().unwrap_or(0.0)
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in out.cells.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"name\": \"{}\", ", c.name));
+        s.push_str(&format!("\"kind\": \"{}\", ", c.kind.name()));
+        s.push_str(&format!("\"servers\": {}, ", c.servers));
+        s.push_str(&format!("\"sources\": {}, ", c.sources));
+        s.push_str(&format!("\"events\": {}, ", c.events));
+        s.push_str(&format!("\"wall_ms\": {:.3}, ", c.wall_ms));
+        s.push_str(&format!("\"events_per_sec\": {:.1}, ", c.events_per_sec));
+        s.push_str(&format!("\"load_checks\": {}, ", c.load_checks));
+        s.push_str(&format!("\"mean_check_ms\": {:.4}, ", c.mean_check_ms));
+        s.push_str(&format!("\"splits\": {}, ", c.splits));
+        s.push_str(&format!("\"merges\": {}, ", c.merges));
+        s.push_str(&format!("\"membership_events\": {}, ", c.membership_events));
+        s.push_str(&format!("\"locate_p95_ms\": {:.2}", c.locate_p95_ms));
+        s.push('}');
+        if i + 1 < out.cells.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_bench_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bench_json(out: &ScaleOutput, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_bench_json(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate at test scale: every cell completes, reports
+    /// sane throughput, and the JSON trajectory round-trips the headline
+    /// floor number.
+    #[test]
+    fn scale_smoke_end_to_end() {
+        let out = run_seeded(0.005, Some(7)).unwrap();
+        assert_eq!(
+            out.cells.len(),
+            CHURN_RING_SIZES.len() + LOADCHECK_RING_SIZES.len()
+        );
+        for c in &out.cells {
+            assert!(c.events > 0, "{}: no events", c.name);
+            assert!(c.events_per_sec > 0.0, "{}: zero throughput", c.name);
+            assert!(c.wall_ms > 0.0);
+        }
+        let churn = &out.cells[0];
+        assert_eq!(churn.kind, CellKind::Churn);
+        assert!(churn.locate_p95_ms > 0.0, "WAN locates must cost time");
+        let lc = out
+            .cells
+            .iter()
+            .find(|c| c.kind == CellKind::LoadCheck)
+            .unwrap();
+        assert_eq!(lc.load_checks, LOADCHECK_CHECKS);
+        assert!(lc.mean_check_ms > 0.0);
+        let floor = out.min_loadcheck_events_per_sec().unwrap();
+        let json = to_bench_json(&out);
+        assert!(json.contains("\"bench\": \"scale\""));
+        assert!(json.contains(&format!("{floor:.1}")));
+        let rendered = render(&out);
+        assert!(rendered.contains("loadcheck_"));
+        assert!(rendered.contains("churn_"));
+    }
+
+    /// Same seed ⇒ identical deterministic fields (only wall-clock may
+    /// differ between runs of the same build).
+    #[test]
+    fn scale_cells_are_deterministic() {
+        let a = run_seeded(0.005, Some(11)).unwrap();
+        let b = run_seeded(0.005, Some(11)).unwrap();
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.events, y.events);
+            assert_eq!((x.splits, x.merges), (y.splits, y.merges));
+            assert_eq!(x.membership_events, y.membership_events);
+            assert_eq!(x.locate_p95_ms, y.locate_p95_ms);
+        }
+    }
+}

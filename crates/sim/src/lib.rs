@@ -19,6 +19,7 @@
 //! | live membership under churn | `churn` | [`experiments::churn`] |
 //! | latency / loss / partitions | `netfault` | [`experiments::netfault`] |
 //! | crash recovery vs replication factor | `availability` | [`experiments::availability`] |
+//! | mechanical cost to 10× the paper's ring | `scale` | [`experiments::scale`] |
 //!
 //! The central type is [`driver::SimDriver`]: it plays a
 //! [`clash_workload::scenario::ScenarioSpec`] against a
