@@ -40,9 +40,11 @@
 pub mod id;
 pub mod net;
 pub mod node;
+pub mod snapshot;
 pub mod virtual_nodes;
 
 pub use id::ChordId;
 pub use net::{LookupResult, SimNet};
 pub use node::ChordNode;
+pub use snapshot::RouteSnapshot;
 pub use virtual_nodes::VirtualRing;

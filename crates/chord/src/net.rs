@@ -9,6 +9,7 @@ use clash_simkernel::rng::DetRng;
 
 use crate::id::ChordId;
 use crate::node::ChordNode;
+use crate::snapshot::RouteSnapshot;
 
 /// Result of one `find_successor` lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -374,9 +375,19 @@ impl SimNet {
     }
 
     fn record_lookup(&mut self, result: LookupResult) {
+        self.record_routed_lookup(result.hops);
+    }
+
+    /// Records the statistics of one lookup that was already routed
+    /// elsewhere — the sharded batch path resolves probes against a
+    /// [`RouteSnapshot`] on worker threads and replays the accounting
+    /// here in plan order, so [`SimNet::stats`] stays bit-for-bit what
+    /// the sequential [`SimNet::find_successor_path`] calls would have
+    /// produced.
+    pub fn record_routed_lookup(&mut self, hops: u32) {
         self.stats.lookups += 1;
-        self.stats.total_hops += u64::from(result.hops);
-        self.stats.max_hops = self.stats.max_hops.max(result.hops);
+        self.stats.total_hops += u64::from(hops);
+        self.stats.max_hops = self.stats.max_hops.max(hops);
     }
 
     /// Lookup statistics accumulated by [`SimNet::find_successor`].
@@ -602,6 +613,94 @@ impl SimNet {
             }
         }
         max_rounds
+    }
+
+    /// Installs the maintenance protocol's convergence fixpoint directly,
+    /// in O(S·M) instead of O(rounds·S·M·log S): every alive node gets
+    /// the successor list, predecessor and fingers that iterating
+    /// [`SimNet::stabilize_round`] + [`SimNet::fix_fingers_round`] to
+    /// quiescence produces (pinned state-for-state by the
+    /// `stabilize_direct_*` differential tests). Dead nodes keep their
+    /// stale state untouched, exactly as the round-based protocol leaves
+    /// them. Returns the round count to report (always 1 — one logical
+    /// maintenance round).
+    ///
+    /// The fixpoint differs from [`SimNet::build_stable`] only on rings
+    /// smaller than the successor-list length: stabilization's list
+    /// refresh excludes the node itself, so lists hold
+    /// `min(r, S − 1)` entries (`[self]` on a one-node ring), while
+    /// `build_stable` pads with `self` — which is why the membership path
+    /// must use this method, not `build_stable`.
+    pub fn stabilize_direct(&mut self) -> usize {
+        let ids = self.node_ids();
+        if ids.is_empty() {
+            return 1;
+        }
+        let m = self.space.bits() as usize;
+        let n = ids.len();
+        let r = self.succ_list_len.min(n - 1);
+        for (pos, &id) in ids.iter().enumerate() {
+            let succ_list: Vec<ChordId> = if n == 1 {
+                vec![id]
+            } else {
+                (1..=r).map(|k| ids[(pos + k) % n]).collect()
+            };
+            let pred = (n > 1).then(|| ids[(pos + n - 1) % n]);
+            let mut fingers = Vec::with_capacity(m);
+            for k in 0..m {
+                let target = id.add_power_of_two(k as u32);
+                let owner = self.owner_of(target.value()).expect("ring has alive nodes");
+                fingers.push(owner);
+            }
+            let node = self.nodes.get_mut(&id.value()).expect("id from node_ids");
+            node.set_successor_list(succ_list);
+            node.set_predecessor(pred);
+            for (k, f) in fingers.into_iter().enumerate() {
+                node.set_finger(k, f);
+            }
+        }
+        self.invalidate_succ_cache();
+        1
+    }
+
+    /// Freezes the current routing state into a `Sync`
+    /// [`RouteSnapshot`] whose `route_with_path` is bit-for-bit
+    /// [`SimNet::route_with_path`] — for routing batched lookups on
+    /// worker threads between membership events.
+    pub fn snapshot(&self) -> RouteSnapshot {
+        let m = self.space.bits() as usize;
+        let hop_limit = 4 * self.space.bits() + self.nodes.len() as u32 + 8;
+        let alive: Vec<&ChordNode> = self.nodes.values().filter(|n| n.is_alive()).collect();
+        let mut values = Vec::with_capacity(alive.len());
+        let mut first_succ = Vec::with_capacity(alive.len());
+        let mut fingers = Vec::with_capacity(alive.len() * m);
+        let mut succs = Vec::new();
+        let mut succ_offsets = Vec::with_capacity(alive.len() + 1);
+        succ_offsets.push(0u32);
+        for node in alive {
+            values.push(node.id().value());
+            first_succ.push(self.first_alive_successor(node).value());
+            fingers.extend(
+                node.fingers()
+                    .iter()
+                    .map(|&f| (f.value(), self.is_alive_raw(f))),
+            );
+            succs.extend(
+                node.successor_list()
+                    .iter()
+                    .map(|&s| (s.value(), self.is_alive_raw(s))),
+            );
+            succ_offsets.push(succs.len() as u32);
+        }
+        RouteSnapshot {
+            space: self.space,
+            hop_limit,
+            values,
+            first_succ,
+            fingers,
+            succs,
+            succ_offsets,
+        }
     }
 
     /// True if every alive node's successor, predecessor and fingers match
@@ -1005,5 +1104,106 @@ mod tests {
         let id = net.node_ids()[0];
         net.fail(id);
         net.route(id, 1);
+    }
+
+    /// Asserts both nets hold identical per-node routing state (fingers,
+    /// successor lists, predecessors) for every node, alive or dead.
+    fn assert_same_routing_state(a: &SimNet, b: &SimNet, label: &str) {
+        let ids_a = a.node_ids();
+        assert_eq!(ids_a, b.node_ids(), "{label}: membership diverged");
+        for id in ids_a {
+            let na = a.node(id).unwrap();
+            let nb = b.node(id).unwrap();
+            assert_eq!(na.fingers(), nb.fingers(), "{label}: fingers of {id}");
+            assert_eq!(
+                na.successor_list(),
+                nb.successor_list(),
+                "{label}: successor list of {id}"
+            );
+            assert_eq!(
+                na.predecessor(),
+                nb.predecessor(),
+                "{label}: predecessor of {id}"
+            );
+        }
+    }
+
+    /// `stabilize_direct` must land on exactly the state the round-based
+    /// maintenance protocol converges to — across ring sizes, fresh
+    /// joins, graceful departures and unrepaired failures.
+    #[test]
+    fn stabilize_direct_matches_converged_protocol() {
+        for (n, seed) in [(1usize, 40u64), (2, 41), (3, 42), (9, 43), (64, 44)] {
+            let mut rng = DetRng::new(seed);
+            let proto = SimNet::with_random_nodes(space(), n, &mut rng);
+            let mut direct = SimNet::new(space());
+            for id in proto.node_ids() {
+                direct.add_node(id);
+            }
+            let mut proto = proto;
+            // Perturb both identically: joins, a departure, failures.
+            let bootstrap_pool = proto.node_ids();
+            let bootstrap = bootstrap_pool[0];
+            proto.build_stable();
+            direct.build_stable();
+            for j in 0..3u64 {
+                let id = ChordId::new(rng.next_u64().wrapping_add(j), space());
+                proto.join(id, bootstrap);
+                direct.join(id, bootstrap);
+            }
+            if n > 4 {
+                let leaver = proto.node_ids()[2];
+                proto.remove_node(leaver);
+                direct.remove_node(leaver);
+                let victim = proto.node_ids()[4];
+                proto.fail(victim);
+                direct.fail(victim);
+            }
+            let rounds = proto.stabilize_until_converged(256);
+            assert!(rounds < 256, "protocol did not converge");
+            direct.stabilize_direct();
+            assert_same_routing_state(&proto, &direct, &format!("n={n}"));
+            assert!(direct.is_fully_stabilized());
+        }
+    }
+
+    #[test]
+    fn stabilize_direct_matches_protocol_after_mass_failure() {
+        let mut rng = DetRng::new(55);
+        let mut proto = SimNet::with_random_nodes(space(), 40, &mut rng);
+        proto.build_stable();
+        let mut direct = SimNet::new(space());
+        for id in proto.node_ids() {
+            direct.add_node(id);
+        }
+        direct.build_stable();
+        let ids = proto.node_ids();
+        for &id in ids.iter().take(20) {
+            proto.fail(id);
+            direct.fail(id);
+        }
+        proto.stabilize_until_converged(256);
+        direct.stabilize_direct();
+        assert_same_routing_state(&proto, &direct, "mass failure");
+        // Dead nodes keep stale state in both worlds.
+        for &id in ids.iter().take(20) {
+            assert!(proto.node(id).is_some() && direct.node(id).is_some());
+        }
+    }
+
+    #[test]
+    fn stabilize_direct_reports_one_round_and_routes_correctly() {
+        let mut net = stable_net(30, 60);
+        let bootstrap = net.node_ids()[0];
+        net.join(ChordId::new(0xABCD, space()), bootstrap);
+        assert_eq!(net.stabilize_direct(), 1);
+        assert!(net.is_fully_stabilized());
+        let starts = net.node_ids();
+        let mut rng = DetRng::new(61);
+        for _ in 0..200 {
+            let h = rng.next_u64() & space().mask();
+            let start = starts[rng.uniform_index(starts.len())];
+            assert_eq!(Some(net.route(start, h).owner), net.owner_of(h));
+        }
     }
 }

@@ -28,10 +28,12 @@ use std::sync::Arc;
 
 use clash_chord::id::ChordId;
 use clash_chord::net::SimNet;
+use clash_chord::snapshot::RouteSnapshot;
 use clash_keyspace::cover::{PrefixCover, PrefixMap};
 use clash_keyspace::hash::{KeyHasher, SplitMixHasher};
 use clash_keyspace::key::Key;
 use clash_keyspace::prefix::Prefix;
+use clash_simkernel::merge::MergeQueue;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::SimDuration;
 use clash_transport::{Delivery, InstantTransport, MessageClass, Transport, TransportStats};
@@ -270,7 +272,7 @@ pub struct MergeRecord {
 }
 
 /// Outcome of one cluster-wide load check.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadCheckReport {
     /// Splits performed, in order.
     pub splits: Vec<SplitRecord>,
@@ -328,6 +330,35 @@ struct SourceRec {
 struct QueryRec {
     key: Key,
     group: Prefix,
+}
+
+/// One locate probe planned by the batched client path — everything the
+/// charge phase needs to replay the sequential accounting bit-for-bit
+/// (see the "sharded batch state" section of [`ClashCluster`]).
+#[derive(Debug, Clone, Copy)]
+struct PlannedProbe {
+    /// Client entry node (the `random_alive` draw, made at plan time so
+    /// the cluster RNG advances in exact op order).
+    start: ServerId,
+    /// Hashed probe target `f(virtual key)`.
+    target: u64,
+    /// The owner the plan resolved by ground truth. Batch windows only
+    /// exist between membership barriers, when the ring is converged, so
+    /// the routed owner must agree (debug-asserted at charge time).
+    owner: ServerId,
+    /// True when this probe completed its locate: the charge phase
+    /// counts the locate and observes the op's accumulated latency here.
+    op_end: bool,
+}
+
+/// A planned probe after shard-local routing: the plan plus the routed
+/// hop count and per-hop path, ready for in-order charging.
+#[derive(Debug)]
+struct RoutedProbe {
+    plan: PlannedProbe,
+    owner: ServerId,
+    hops: u32,
+    path: Vec<(ChordId, ChordId)>,
 }
 
 /// An in-process CLASH cluster (see the module docs).
@@ -411,6 +442,36 @@ pub struct ClashCluster {
     deliver_scratch: Vec<(ServerId, ServerId, Prefix, GroupLoad, bool, bool)>,
     /// Reused scratch for full-sweep id snapshots.
     ids_scratch: Vec<u64>,
+    // ----- sharded batch state -------------------------------------------
+    //
+    // With `config.shards > 0` the client locate path splits into three
+    // phases. **Plan** (sequential, at the op): draw the entry node,
+    // resolve the probe's owner by ground truth (legal because batch
+    // windows only exist between membership barriers, when routing and
+    // ground truth agree), run the depth search against live server
+    // tables, and queue a `PlannedProbe`; ledger mutations stay
+    // synchronous, group-load pushes are coalesced into `batch_touched`.
+    // **Shard** (pure, parallel when shards > 1): partition the queued
+    // probes by target ring arc, deliberately scramble each lane's local
+    // order with a labelled substream (adversarial proof that worker
+    // scheduling cannot matter), and resolve each probe's DHT route
+    // against a frozen `RouteSnapshot`. **Charge** (sequential, in plan
+    // order via the deterministic merge queue): replay hop stats,
+    // per-link transport costs, message counters and latency
+    // observations exactly as the unbatched path interleaves them.
+    // `flush_batch` runs at every barrier; results are bit-for-bit
+    // identical for every shard count, including 0 (sequential) —
+    // pinned by `tests/shard_equivalence.rs` and the
+    // `sharded_batching_matches_sequential` proptest.
+    /// Probes planned but not yet routed/charged.
+    batch_probes: Vec<PlannedProbe>,
+    /// Groups with a deferred (coalesced) load push.
+    batch_touched: BTreeSet<Prefix>,
+    /// Monotone flush counter salting the per-shard jitter substreams.
+    flush_seq: u64,
+    /// Frozen routing state for the current batch window; dropped by
+    /// every ring-membership mutation, rebuilt lazily at the next flush.
+    route_snapshot: Option<Arc<RouteSnapshot>>,
 }
 
 impl ClashCluster {
@@ -491,6 +552,10 @@ impl ClashCluster {
             verify_countdown: Cell::new(1),
             deliver_scratch: Vec::new(),
             ids_scratch: Vec::new(),
+            batch_probes: Vec::new(),
+            batch_touched: BTreeSet::new(),
+            flush_seq: 0,
+            route_snapshot: None,
         };
         if cluster.config.splitting_enabled {
             cluster.bootstrap_initial_groups()?;
@@ -747,6 +812,12 @@ impl ClashCluster {
     /// are silently lost, for soft-state reports) until
     /// [`ClashCluster::heal_partition`]. No-op on the instant transport.
     pub fn partition_network(&mut self, islands: &[Vec<ServerId>]) {
+        // Close the batch window before the cut: batched ops planned on
+        // the connected network must be charged at connected-network
+        // prices. The transport is connected here, so charging cannot
+        // fail.
+        self.flush_batch()
+            .expect("flush before partition cannot hit a severed link");
         let raw: Vec<Vec<u64>> = islands
             .iter()
             .map(|island| island.iter().map(|id| id.value()).collect())
@@ -756,6 +827,10 @@ impl ClashCluster {
 
     /// Heals any active network partition.
     pub fn heal_partition(&mut self) {
+        // Batching is disabled while partitioned, so the batch is empty
+        // here in practice; flushing anyway keeps the invariant local.
+        self.flush_batch()
+            .expect("flush before heal cannot hit a severed link");
         self.transport.heal();
     }
 
@@ -897,6 +972,9 @@ impl ClashCluster {
         if !self.config.splitting_enabled {
             return self.locate_fixed_depth(key);
         }
+        if self.batching_active() {
+            return self.locate_batched(key, hint);
+        }
         let width = self.config.key_width.get();
         let mut search = match hint {
             Some(h) => DepthSearch::with_hint(width, h),
@@ -931,6 +1009,199 @@ impl ClashCluster {
                 SearchOutcome::Continue { .. } => {}
             }
         }
+    }
+
+    /// True while client locates should plan into the batch instead of
+    /// routing synchronously. Requires `shards > 0` (opt-in), the
+    /// adaptive protocol (the fixed-depth baseline lazily materializes
+    /// groups mid-locate, which is inherently sequential), and an
+    /// unpartitioned transport (the sequential path aborts an attach
+    /// *before* its ledger mutation when a probe hits the cut — a
+    /// divergence batching cannot reproduce, so it steps aside).
+    fn batching_active(&self) -> bool {
+        self.config.shards > 0 && self.config.splitting_enabled && !self.transport.is_partitioned()
+    }
+
+    /// The batched locate plan phase: identical control flow and RNG
+    /// draws to the synchronous `locate_hinted` loop, but DHT routing
+    /// and all message/latency charging are deferred to
+    /// [`ClashCluster::flush_batch`]. The depth search itself runs live
+    /// against server tables (tables only change at barriers), so the
+    /// returned [`Placement`] is exactly the sequential one.
+    fn locate_batched(&mut self, key: Key, hint: Option<u32>) -> Result<Placement, ClashError> {
+        let width = self.config.key_width.get();
+        let mut search = match hint {
+            Some(h) => DepthSearch::with_hint(width, h),
+            None => DepthSearch::new(width),
+        };
+        loop {
+            let guess = search.next_guess();
+            let group_guess = Prefix::of_key(key, guess);
+            let h = self.hasher.hash_key(group_guess.virtual_key());
+            let start = self.net.random_alive(&mut self.rng);
+            let owner = self.net.owner_of(h).expect("ring is non-empty");
+            self.batch_probes.push(PlannedProbe {
+                start,
+                target: h,
+                owner,
+                op_end: false,
+            });
+            let responder = self
+                .servers
+                .get_mut(owner.value())
+                .expect("owner is a ring member");
+            let response = responder.handle_accept_object(key, guess);
+            match search.record(guess, response)? {
+                SearchOutcome::Found { depth, .. } => {
+                    self.batch_probes
+                        .last_mut()
+                        .expect("probe queued above")
+                        .op_end = true;
+                    return Ok(Placement {
+                        server: owner,
+                        group: Prefix::of_key(key, depth),
+                        depth,
+                        probes: search.probes(),
+                    });
+                }
+                SearchOutcome::Continue { .. } => {}
+            }
+        }
+    }
+
+    /// Routes and charges every planned probe and pushes every deferred
+    /// group-load update. Runs automatically at every barrier (load
+    /// check, membership change, partition, driver sample); a no-op when
+    /// nothing is batched, so it is always safe to call before reading
+    /// message stats, latency metrics or server loads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates charging errors; none occur in correct operation
+    /// (batch windows never span a partition).
+    pub fn flush_batch(&mut self) -> Result<(), ClashError> {
+        if !self.batch_probes.is_empty() {
+            self.flush_batch_probes()?;
+        }
+        if !self.batch_touched.is_empty() {
+            let touched = std::mem::take(&mut self.batch_touched);
+            for group in touched {
+                self.push_group_load(group)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard + charge phases of the batch (see the field docs).
+    fn flush_batch_probes(&mut self) -> Result<(), ClashError> {
+        // Below this many pending probes a flush routes inline even when
+        // N > 1: spawning worker threads costs more than routing a
+        // near-empty batch (e.g. the isolated load-check cells flush a
+        // couple of probes per period). Purely an execution-strategy
+        // switch — lanes, shuffle and merge order are untouched, so the
+        // result is bit-for-bit identical either way (the equivalence
+        // pins cover batches on both sides of the threshold).
+        const PAR_ROUTE_MIN: usize = 64;
+        let probes = std::mem::take(&mut self.batch_probes);
+        let probe_count = probes.len();
+        let n_shards = self.config.shards.max(1) as usize;
+        let snapshot = match &self.route_snapshot {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Arc::new(self.net.snapshot());
+                self.route_snapshot = Some(Arc::clone(&s));
+                s
+            }
+        };
+        let bits = self.config.hash_space.bits();
+        // Shard by target ring arc: shard(h) = ⌊h · N / 2^bits⌋ — N
+        // contiguous key-space arcs.
+        let mut lanes: Vec<Vec<(u64, PlannedProbe)>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (seq, p) in probes.into_iter().enumerate() {
+            let shard = ((u128::from(p.target) * n_shards as u128) >> bits) as usize;
+            lanes[shard].push((seq as u64, p));
+        }
+        // Deliberately scramble each lane's local order with a labelled
+        // substream keyed by (flush, shard). Routing is pure and the
+        // merge queue re-orders by plan sequence, so this provably
+        // cannot change results — which is the point: every flush is an
+        // adversarial schedule, so any order-dependence in the shard
+        // phase would break the equivalence pins immediately instead of
+        // only under unlucky thread timings. Derived substreams never
+        // advance `self.rng`, so protocol draws are untouched.
+        for (shard, lane) in lanes.iter_mut().enumerate() {
+            let mut jitter = self
+                .rng
+                .substream_indexed("shard", self.flush_seq * n_shards as u64 + shard as u64);
+            for i in (1..lane.len()).rev() {
+                let j = jitter.uniform_index(i + 1);
+                lane.swap(i, j);
+            }
+        }
+        self.flush_seq += 1;
+        // Shard phase: resolve each lane's routes against the frozen
+        // snapshot — worker threads when sharding is real and the batch
+        // is big enough to pay for them, inline otherwise (same code
+        // path, same merge discipline).
+        let mut queue: MergeQueue<u64, RoutedProbe> = MergeQueue::new(n_shards);
+        let route_lane = |snap: &RouteSnapshot, lane: Vec<(u64, PlannedProbe)>| {
+            lane.into_iter()
+                .map(|(seq, plan)| {
+                    let (lookup, path) = snap.route_with_path(plan.start, plan.target);
+                    (
+                        seq,
+                        RoutedProbe {
+                            plan,
+                            owner: lookup.owner,
+                            hops: lookup.hops,
+                            path,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        if n_shards > 1 && probe_count >= PAR_ROUTE_MIN {
+            std::thread::scope(|scope| {
+                let snap: &RouteSnapshot = &snapshot;
+                let handles: Vec<_> = lanes
+                    .drain(..)
+                    .map(|lane| scope.spawn(move || route_lane(snap, lane)))
+                    .collect();
+                for (shard, handle) in handles.into_iter().enumerate() {
+                    *queue.lane_mut(shard) = handle.join().expect("shard worker panicked");
+                }
+            });
+        } else {
+            for (shard, lane) in lanes.into_iter().enumerate() {
+                *queue.lane_mut(shard) = route_lane(&snapshot, lane);
+            }
+        }
+        // Charge phase: drain in global plan order and replay exactly
+        // the accounting the sequential path interleaves per op — hop
+        // stats, per-link transport draws, probe counters, and the
+        // locate latency observation at each op's final probe.
+        let mut op_latency = SimDuration::ZERO;
+        for (_, routed) in queue.drain() {
+            debug_assert_eq!(
+                routed.owner, routed.plan.owner,
+                "batch window spanned a ring change: routed owner diverged from plan"
+            );
+            self.net.record_routed_lookup(routed.hops);
+            self.charge_probe_route(
+                routed.plan.start,
+                routed.owner,
+                routed.path,
+                &mut op_latency,
+            )?;
+            self.msgs.probes += 1;
+            self.msgs.probe_messages += u64::from(routed.hops) + 1;
+            if routed.plan.op_end {
+                self.msgs.locates += 1;
+                self.latency.locate.observe(ms(op_latency));
+                op_latency = SimDuration::ZERO;
+            }
+        }
+        Ok(())
     }
 
     /// Baseline `DHT(x)` lookup: the depth is fixed, one DHT routing
@@ -1012,7 +1283,7 @@ impl ClashCluster {
                 group: placement.group,
             },
         );
-        self.push_group_load(placement.group)?;
+        self.push_group_load_batched(placement.group)?;
         Ok(placement)
     }
 
@@ -1034,7 +1305,7 @@ impl ClashCluster {
             .expect("attached source has a ledger");
         Arc::make_mut(&mut ledger.sources).retain(|&s| s != source_id);
         ledger.rate = (ledger.rate - rec.rate).max(0.0);
-        self.push_group_load(rec.group)?;
+        self.push_group_load_batched(rec.group)?;
         self.cleanup_baseline_group(rec.group)?;
         Ok(())
     }
@@ -1123,7 +1394,7 @@ impl ClashCluster {
                 group: placement.group,
             },
         );
-        self.push_group_load(placement.group)?;
+        self.push_group_load_batched(placement.group)?;
         Ok(placement)
     }
 
@@ -1144,7 +1415,7 @@ impl ClashCluster {
             .get_mut(&rec.group)
             .expect("attached query has a ledger");
         Arc::make_mut(&mut ledger.queries).retain(|&q| q != query_id);
-        self.push_group_load(rec.group)?;
+        self.push_group_load_batched(rec.group)?;
         self.cleanup_baseline_group(rec.group)?;
         Ok(())
     }
@@ -1157,6 +1428,21 @@ impl ClashCluster {
     /// Number of currently attached queries.
     pub fn query_count(&self) -> usize {
         self.queries.len()
+    }
+
+    /// Defers the load report while a batch window is open (last write
+    /// wins: only the final rate before a barrier is observable, and
+    /// nothing reads owner loads between barriers), otherwise pushes
+    /// immediately. Used at the four client-op sites only — split,
+    /// merge and recovery push synchronously because their reports are
+    /// part of a barrier.
+    fn push_group_load_batched(&mut self, group: Prefix) -> Result<(), ClashError> {
+        if self.batching_active() {
+            self.batch_touched.insert(group);
+            Ok(())
+        } else {
+            self.push_group_load(group)
+        }
     }
 
     fn push_group_load(&mut self, group: Prefix) -> Result<(), ClashError> {
@@ -1452,6 +1738,7 @@ impl ClashCluster {
     /// Propagates protocol invariant violations (none occur in correct
     /// operation; the tests rely on this).
     pub fn run_load_check(&mut self) -> Result<LoadCheckReport, ClashError> {
+        self.flush_batch()?;
         if self.full_scan_checks {
             // Reference mode: reclassify everything from scratch, exactly
             // like the historical per-period sweep.
@@ -1909,6 +2196,9 @@ impl ClashCluster {
     /// Returns [`ClashError::InvalidConfig`] if the identifier is already
     /// present in the ring (alive or crashed).
     pub fn join_server(&mut self, new_id: ServerId) -> Result<JoinReport, ClashError> {
+        // Membership barrier: charge all batched work against the ring
+        // as it was when that work was planned.
+        self.flush_batch()?;
         if self.net.node(new_id).is_some() {
             return Err(ClashError::InvalidConfig {
                 reason: "server id already present in the ring",
@@ -1923,7 +2213,8 @@ impl ClashCluster {
             })?;
         // Join lookup + finger seeding, plus the announcement itself.
         self.msgs.handoff_messages += u64::from(join_msgs) + 1;
-        let rounds = self.net.stabilize_until_converged(256);
+        let rounds = self.net.stabilize_direct();
+        self.route_snapshot = None;
         self.servers.insert(ClashServer::new(new_id, self.config));
         self.mark_dirty(new_id.value());
         self.msgs.joins += 1;
@@ -2008,6 +2299,9 @@ impl ClashCluster {
     /// Returns [`ClashError::UnknownServer`] for unknown servers and
     /// [`ClashError::InvalidConfig`] when asked to drain the last one.
     pub fn leave_server(&mut self, victim: ServerId) -> Result<LeaveReport, ClashError> {
+        // Membership barrier: charge all batched work against the ring
+        // as it was when that work was planned.
+        self.flush_batch()?;
         if self.servers.len() <= 1 {
             return Err(ClashError::InvalidConfig {
                 reason: "cannot drain the last server",
@@ -2023,7 +2317,8 @@ impl ClashCluster {
         self.msgs.handoff_messages += 1;
         self.msgs.leaves += 1;
         self.net.remove_node(victim);
-        let rounds = self.net.stabilize_until_converged(256);
+        let rounds = self.net.stabilize_direct();
+        self.route_snapshot = None;
         let tally = self.migrate_entries(victim, entries)?;
         // The leaver's held replicas vanished with it: re-replicate
         // immediately so no group waits out a load-check period
@@ -2173,6 +2468,9 @@ impl ClashCluster {
     /// victim list and when the crash would take the last server;
     /// [`ClashError::UnknownServer`] for unknown victims.
     pub fn fail_servers(&mut self, victims: &[ServerId]) -> Result<FailureReport, ClashError> {
+        // Membership barrier: charge all batched work against the ring
+        // as it was when that work was planned.
+        self.flush_batch()?;
         if victims.is_empty() {
             return Err(ClashError::InvalidConfig {
                 reason: "crash burst needs at least one victim",
@@ -2204,7 +2502,8 @@ impl ClashCluster {
             self.forget_server(v.value());
             self.net.fail(*v);
         }
-        self.net.stabilize_until_converged(256);
+        self.net.stabilize_direct();
+        self.route_snapshot = None;
 
         let mut report = FailureReport {
             failed: victims[0],

@@ -79,6 +79,17 @@ pub struct ClashConfig {
     /// disables replication entirely and preserves the pre-replication
     /// behavior bit for bit.
     pub replication_factor: usize,
+    /// Ring-arc shard count for the batched locate path. `0` (the
+    /// default) keeps every client operation fully synchronous — the
+    /// historical sequential semantics. `n ≥ 1` partitions the hash
+    /// space into `n` contiguous arcs: client locates are *planned*
+    /// synchronously (preserving every RNG draw and ledger mutation in
+    /// op order), their DHT routing is resolved per-arc against a frozen
+    /// routing snapshot (on worker threads when `n > 1`), and the
+    /// results are charged through a deterministic merge queue. The
+    /// outcome is bit-for-bit identical for every `n`, including `0` —
+    /// pinned by `tests/shard_equivalence.rs`.
+    pub shards: u32,
 }
 
 impl ClashConfig {
@@ -99,6 +110,7 @@ impl ClashConfig {
             load_model: QueryStreamLoadModel::paper_calibration(),
             split_policy: SplitPolicy::Hottest,
             replication_factor: 0,
+            shards: 0,
         }
     }
 
@@ -132,6 +144,7 @@ impl ClashConfig {
             load_model: QueryStreamLoadModel::paper_calibration(),
             split_policy: SplitPolicy::Hottest,
             replication_factor: 0,
+            shards: 0,
         }
     }
 
@@ -149,6 +162,22 @@ impl ClashConfig {
     /// (the historical behavior) and on.
     pub fn replication_factor_from_env() -> usize {
         std::env::var("CLASH_REPLICATION")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// A copy with the given ring-arc shard count for batched locates.
+    pub fn with_shards(self, shards: u32) -> Self {
+        ClashConfig { shards, ..self }
+    }
+
+    /// The shard count named by the `CLASH_SHARDS` environment variable,
+    /// or 0 (sequential) when unset/unparsable. The shard-equivalence
+    /// suite reads this so CI can run the same scenarios sequentially
+    /// and at several shard counts.
+    pub fn shards_from_env() -> u32 {
+        std::env::var("CLASH_SHARDS")
             .ok()
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(0)
@@ -292,6 +321,15 @@ mod tests {
         assert_eq!(ClashConfig::small_test().replication_factor, 0);
         let cfg = ClashConfig::small_test().with_replication(3);
         assert_eq!(cfg.replication_factor, 3);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn shards_default_off_and_builder_sets_them() {
+        assert_eq!(ClashConfig::paper().shards, 0);
+        assert_eq!(ClashConfig::small_test().shards, 0);
+        let cfg = ClashConfig::small_test().with_shards(4);
+        assert_eq!(cfg.shards, 4);
         cfg.validate().unwrap();
     }
 }

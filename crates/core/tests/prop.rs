@@ -415,6 +415,110 @@ proptest! {
         }
     }
 
+    /// Ring-arc batched locates are bit-for-bit equivalent to the
+    /// sequential path for *every* shard count: two clusters play the
+    /// same random interleaving of workload bursts, detach waves, joins,
+    /// graceful leaves, crashes and load checks — one fully sequential
+    /// (`shards = 0`), one on the plan/route/merge-charge path — and
+    /// after every operation (with the batch explicitly flushed) the
+    /// message accounting, global cover, per-server loads and all
+    /// membership/load-check reports must be identical. The mirror of
+    /// `dirty_tracked_load_checks_match_full_scan` for the sharding
+    /// layer.
+    #[test]
+    fn sharded_batching_matches_sequential(
+        servers in 2usize..10,
+        seed in 0u64..500,
+        shards in 1u32..5,
+        replication in 0usize..3,
+        ops in prop::collection::vec((0u8..8, 0u64..u64::MAX), 1..14),
+    ) {
+        let config = ClashConfig::small_test().with_replication(replication);
+        let mut seq = ClashCluster::new(config, servers, seed).unwrap();
+        let mut sharded =
+            ClashCluster::new(config.with_shards(shards), servers, seed).unwrap();
+        let mut next_source = 0u64;
+        let mut attached: Vec<u64> = Vec::new();
+        for &(op, arg) in &ops {
+            match op {
+                // Workload burst: heat a quadrant chosen by `arg`. The
+                // whole burst lands in one batch window on the sharded
+                // cluster.
+                0 | 1 => {
+                    let quadrant = (arg % 4) << 6;
+                    for j in 0..12 {
+                        let bits = quadrant | ((arg.wrapping_add(j * 17)) % 64);
+                        let pa = seq.attach_source(next_source, key(bits), 2.0).unwrap();
+                        let pb = sharded.attach_source(next_source, key(bits), 2.0).unwrap();
+                        prop_assert_eq!(pa, pb, "placements diverged");
+                        attached.push(next_source);
+                        next_source += 1;
+                    }
+                }
+                // Detach wave: cool half the attached sources.
+                2 => {
+                    let drop_n = attached.len() / 2;
+                    for sid in attached.drain(..drop_n) {
+                        if seq.has_source(sid) {
+                            seq.detach_source(sid).unwrap();
+                        }
+                        if sharded.has_source(sid) {
+                            sharded.detach_source(sid).unwrap();
+                        }
+                    }
+                }
+                // Join a fresh server with an arbitrary ring id (an
+                // implicit flush barrier on the sharded cluster).
+                3 => {
+                    let id = ServerId::new(arg, config.hash_space);
+                    if seq.net().node(id).is_none() {
+                        let ra = seq.join_server(id).unwrap();
+                        let rb = sharded.join_server(id).unwrap();
+                        prop_assert_eq!(ra, rb, "join reports diverged");
+                    }
+                }
+                // Graceful drain of an arbitrary server.
+                4 => {
+                    if seq.server_count() > 1 {
+                        let ids = seq.server_ids();
+                        let victim = ids[(arg as usize) % ids.len()];
+                        let ra = seq.leave_server(victim).unwrap();
+                        let rb = sharded.leave_server(victim).unwrap();
+                        prop_assert_eq!(ra, rb, "leave reports diverged");
+                    }
+                }
+                // Crash an arbitrary server.
+                5 => {
+                    if seq.server_count() > 1 {
+                        let ids = seq.server_ids();
+                        let victim = ids[(arg as usize) % ids.len()];
+                        let ra = seq.fail_server(victim).unwrap();
+                        let rb = sharded.fail_server(victim).unwrap();
+                        prop_assert_eq!(ra, rb, "failure reports diverged");
+                    }
+                }
+                // A load-check period elapses on both (the natural
+                // flush barrier).
+                _ => {
+                    let ra = seq.run_load_check().unwrap();
+                    let rb = sharded.run_load_check().unwrap();
+                    prop_assert_eq!(ra, rb, "load-check reports diverged");
+                }
+            }
+            // Close any open batch window, then demand identical
+            // observable state after *every* operation.
+            sharded.flush_batch().unwrap();
+            prop_assert_eq!(seq.message_stats(), sharded.message_stats());
+            prop_assert_eq!(
+                seq.global_cover().iter().collect::<Vec<_>>(),
+                sharded.global_cover().iter().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(seq.server_loads(), sharded.server_loads());
+            sharded.verify_consistency();
+            sharded.verify_candidate_indices();
+        }
+    }
+
     /// Heating then cooling a region splits and then re-merges it; the
     /// cover stays a partition throughout and depth returns to the roots.
     #[test]

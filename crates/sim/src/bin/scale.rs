@@ -1,8 +1,12 @@
 //! Scale experiment binary: mechanical cost of the protocol core from
 //! the paper's 1000-server cell up to ~10× it, under churn + WAN.
 //!
-//! Usage: `scale [--scale F] [--seed S] [--out DIR]
+//! Usage: `scale [--scale F] [--seed S] [--shards N] [--out DIR]
 //!               [--bench-out PATH] [--min-events-per-sec F]`
+//!
+//! `--shards N` runs the cells on the ring-arc batched locate path
+//! (default: the `CLASH_SHARDS` environment variable, else 0 =
+//! sequential). Deterministic outputs are identical for every value.
 //!
 //! Writes `scale.csv` into `--out` (default `results/`) and the
 //! machine-readable trajectory into `--bench-out` (default
@@ -25,8 +29,15 @@ fn main() {
         s.parse()
             .unwrap_or_else(|_| panic!("--min-events-per-sec must be a float, got {s:?}"))
     });
+    let shards: u32 = report::flag_value(&args, "--shards").map_or_else(
+        clash_core::config::ClashConfig::shards_from_env,
+        |s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("--shards must be an integer, got {s:?}"))
+        },
+    );
 
-    let out = scale::run_seeded(scale_factor, seed).expect("scale experiment failed");
+    let out = scale::run_seeded(scale_factor, seed, shards).expect("scale experiment failed");
     println!("{}", scale::render(&out));
     scale::write_csvs(&out, &out_dir).expect("write scale csv");
     scale::write_bench_json(&out, &bench_out).expect("write bench json");

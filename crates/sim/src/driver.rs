@@ -170,12 +170,43 @@ pub struct RunResult {
     pub crashes: u64,
     /// Crash-recovery aggregates (what was recovered, deferred, lost).
     pub recovery: RecoveryTotals,
+    /// Load-check periods that elapsed during the run.
+    pub load_checks: u64,
+    /// Real (wall-clock) milliseconds spent inside
+    /// [`ClashCluster::run_load_check`] over the whole run, measured
+    /// after the batch flush so deferred locate work is never billed to
+    /// the checks. Wall time is inherently non-deterministic; it is
+    /// excluded from [`RunResult::deterministic_fingerprint`].
+    pub check_wall_ms: f64,
 }
 
 impl RunResult {
     /// The phase summary for a workload, if that phase ran.
     pub fn phase(&self, workload: WorkloadKind) -> Option<&PhaseSummary> {
         self.phases.iter().find(|p| p.workload == workload)
+    }
+
+    /// A digest of every deterministic field of the result — everything
+    /// except `check_wall_ms` (wall time). Two runs of the same scenario
+    /// must produce equal fingerprints whatever the shard count or
+    /// machine; the shard-equivalence suite compares these directly so a
+    /// divergence prints both complete states.
+    pub fn deterministic_fingerprint(&self) -> String {
+        format!(
+            "{}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{:?}|{}",
+            self.label,
+            self.samples,
+            self.phases,
+            self.final_messages,
+            self.events,
+            self.splits,
+            self.merges,
+            self.joins,
+            self.leaves,
+            self.crashes,
+            self.recovery,
+            self.load_checks,
+        )
     }
 }
 
@@ -218,6 +249,8 @@ pub struct SimDriver {
     next_query_id: u64,
     crashes: u64,
     recovery: RecoveryTotals,
+    load_checks: u64,
+    check_wall_ms: f64,
     label: String,
 }
 
@@ -292,6 +325,8 @@ impl SimDriver {
             next_query_id: 0,
             crashes: 0,
             recovery: RecoveryTotals::default(),
+            load_checks: 0,
+            check_wall_ms: 0.0,
             label,
         })
     }
@@ -366,6 +401,9 @@ impl SimDriver {
             }
         }
 
+        // Close the populate batch window before baselining the message
+        // counters for the first sample diff.
+        self.cluster.flush_batch()?;
         let mut samples: Vec<SampleRow> = Vec::new();
         let mut last_msgs = self.cluster.message_stats();
         let mut last_sample_time = SimTime::ZERO;
@@ -398,7 +436,14 @@ impl SimDriver {
                     self.spawn_query(at)?;
                 }
                 Ev::LoadCheck => {
+                    // Flush *before* starting the timer: the batch holds
+                    // deferred locate work from the whole period, which
+                    // must not be billed as load-check time.
+                    self.cluster.flush_batch()?;
+                    let check_started = std::time::Instant::now();
                     let check = self.cluster.run_load_check()?;
+                    self.check_wall_ms += check_started.elapsed().as_secs_f64() * 1e3;
+                    self.load_checks += 1;
                     // A partition-deferred recovery resolves at some later
                     // load check; fold its outcome into the totals so the
                     // success rate (and the single-crash loss gate) counts
@@ -412,6 +457,8 @@ impl SimDriver {
                         .schedule(at + self.spec.load_check_period, Ev::LoadCheck);
                 }
                 Ev::Sample => {
+                    // Samples read message/latency/load state: barrier.
+                    self.cluster.flush_batch()?;
                     let window = at.duration_since(last_sample_time);
                     samples.push(self.sample(
                         at,
@@ -464,6 +511,7 @@ impl SimDriver {
             }
         }
         // Final sample at the end boundary.
+        self.cluster.flush_batch()?;
         let window = end.saturating_duration_since(last_sample_time);
         if !window.is_zero() {
             samples.push(self.sample(
@@ -489,6 +537,8 @@ impl SimDriver {
             leaves: stats.leaves,
             crashes: self.crashes,
             recovery: self.recovery,
+            load_checks: self.load_checks,
+            check_wall_ms: self.check_wall_ms,
         };
         Ok((result, self.cluster))
     }

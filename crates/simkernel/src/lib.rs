@@ -38,11 +38,13 @@
 
 pub mod dist;
 pub mod event;
+pub mod merge;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use merge::MergeQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,163 @@
+//! Deterministic cross-shard merge queue.
+//!
+//! The sharded simulation path fans work out to per-shard lanes (one lane
+//! per ring-arc shard) and must recombine the results in an order that is
+//! a pure function of the *logical* work, never of thread scheduling or
+//! the order in which lanes happened to fill. [`MergeQueue`] pins that
+//! order: every item carries an ordering key (the caller uses the global
+//! plan sequence number, or `(virtual time, sequence)` for timed work),
+//! and [`MergeQueue::drain`] yields items sorted by `(key, lane)` — lane
+//! index (= shard id) breaks ties, matching the sharding design's
+//! `(virtual time, shard id, sequence)` ordering.
+//!
+//! Items may be pushed into a lane in any order (worker threads complete
+//! shard-local batches in whatever order they like); `drain` sorts each
+//! lane and then k-way merges, so the output is invariant under any
+//! permutation of pushes within a lane and any interleaving across lanes.
+
+/// A fixed set of ordered lanes whose contents drain as one globally
+/// ordered stream.
+#[derive(Debug)]
+pub struct MergeQueue<K, T> {
+    lanes: Vec<Vec<(K, T)>>,
+}
+
+impl<K: Ord + Copy, T> MergeQueue<K, T> {
+    /// Creates a queue with `lanes` empty lanes (one per shard).
+    pub fn new(lanes: usize) -> Self {
+        MergeQueue {
+            lanes: (0..lanes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Vec::is_empty)
+    }
+
+    /// Queues `item` under ordering key `key` in `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn push(&mut self, lane: usize, key: K, item: T) {
+        self.lanes[lane].push((key, item));
+    }
+
+    /// Mutable access to a whole lane's backing vector, for bulk handoff
+    /// from a worker thread (`std::mem::swap` the thread-local results in).
+    pub fn lane_mut(&mut self, lane: usize) -> &mut Vec<(K, T)> {
+        &mut self.lanes[lane]
+    }
+
+    /// Drains every lane into one stream ordered by `(key, lane index)`.
+    ///
+    /// The result is independent of push order: each lane is sorted by key
+    /// (ties within a lane keep push order, but callers use unique keys),
+    /// then the lanes are k-way merged with the lane index as tiebreak.
+    pub fn drain(&mut self) -> Vec<(K, T)> {
+        for lane in &mut self.lanes {
+            lane.sort_by_key(|(k, _)| *k);
+        }
+        let total = self.len();
+        let mut out = Vec::with_capacity(total);
+        let mut iters: Vec<_> = self
+            .lanes
+            .iter_mut()
+            .map(|l| l.drain(..).peekable())
+            .collect();
+        // K-way merge by scanning lanes for the minimum head; lane count is
+        // small (the shard count), so the linear scan beats a heap here.
+        loop {
+            let mut best: Option<(usize, K)> = None;
+            for (li, it) in iters.iter_mut().enumerate() {
+                if let Some((k, _)) = it.peek() {
+                    // Strict `<` keeps the lowest lane index on key ties.
+                    if best.is_none_or(|(_, bk)| *k < bk) {
+                        best = Some((li, *k));
+                    }
+                }
+            }
+            match best {
+                Some((li, _)) => out.push(iters[li].next().unwrap()),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_key_order_across_lanes() {
+        let mut q = MergeQueue::new(3);
+        q.push(2, 5u64, "e");
+        q.push(0, 1, "a");
+        q.push(1, 3, "c");
+        q.push(0, 4, "d");
+        q.push(1, 2, "b");
+        let keys: Vec<_> = q.drain();
+        assert_eq!(keys, vec![(1, "a"), (2, "b"), (3, "c"), (4, "d"), (5, "e")]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lane_index_breaks_key_ties() {
+        let mut q = MergeQueue::new(4);
+        // Same key everywhere: output must follow lane order 0,1,2,3.
+        q.push(3, 7u64, 3usize);
+        q.push(1, 7, 1);
+        q.push(0, 7, 0);
+        q.push(2, 7, 2);
+        let lanes: Vec<_> = q.drain().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn invariant_under_push_permutations() {
+        // The same logical items pushed in two different orders (as two
+        // different thread schedules would) drain identically.
+        let items: Vec<(usize, u64, u32)> = (0..64)
+            .map(|i| ((i % 5) as usize, (97 * i % 64) as u64, i))
+            .collect();
+        let mut a = MergeQueue::new(5);
+        for &(lane, key, v) in &items {
+            a.push(lane, key, v);
+        }
+        let mut b = MergeQueue::new(5);
+        for &(lane, key, v) in items.iter().rev() {
+            b.push(lane, key, v);
+        }
+        assert_eq!(a.drain(), b.drain());
+    }
+
+    #[test]
+    fn bulk_lane_handoff() {
+        let mut q = MergeQueue::new(2);
+        let mut worker_results = vec![(2u64, 'b'), (0, 'a')];
+        std::mem::swap(q.lane_mut(1), &mut worker_results);
+        q.push(0, 1, 'm');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drain(), vec![(0, 'a'), (1, 'm'), (2, 'b')]);
+    }
+
+    #[test]
+    fn empty_queue_drains_empty() {
+        let mut q: MergeQueue<u64, ()> = MergeQueue::new(8);
+        assert_eq!(q.lane_count(), 8);
+        assert!(q.drain().is_empty());
+    }
+}

@@ -1,12 +1,49 @@
 //! The full latency/loss/partition transport.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hasher};
 
 use clash_simkernel::rng::{splitmix64_mix, DetRng};
 use clash_simkernel::time::SimDuration;
 
 use crate::policy::LinkPolicy;
 use crate::{Delivery, MessageClass, NodeAddr, Transport, TransportStats};
+
+/// A fixed-seed splitmix64 hasher for the link map: the per-send link
+/// lookup is on the simulation hot path, and the std `RandomState`
+/// would seed differently per process — the map is never iterated, so
+/// that could not change results, but a deterministic hasher keeps the
+/// whole transport a pure function of its construction seed by
+/// inspection rather than by argument.
+#[derive(Debug, Clone, Default)]
+struct DetBuildHasher;
+
+#[derive(Debug)]
+struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = splitmix64_mix(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = splitmix64_mix(self.0 ^ v);
+    }
+}
+
+impl BuildHasher for DetBuildHasher {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher(0x9E37_79B9_7F4A_7C15)
+    }
+}
 
 /// Lazily created per-directed-link state: an independent RNG substream
 /// plus the link's sampled base propagation delay.
@@ -68,7 +105,10 @@ impl PartitionMatrix {
 pub struct LinkTransport {
     policy: LinkPolicy,
     root: DetRng,
-    links: BTreeMap<(NodeAddr, NodeAddr), LinkState>,
+    /// Per-directed-link state, hashed (not ordered): the map is looked
+    /// up once per send and never iterated, so an O(1) deterministic
+    /// hash beats the tree walk on large rings.
+    links: HashMap<(NodeAddr, NodeAddr), LinkState, DetBuildHasher>,
     partition: PartitionMatrix,
     stats: TransportStats,
 }
@@ -86,7 +126,7 @@ impl LinkTransport {
         LinkTransport {
             policy,
             root: DetRng::new(seed).substream("transport"),
-            links: BTreeMap::new(),
+            links: HashMap::default(),
             partition: PartitionMatrix::default(),
             stats: TransportStats::default(),
         }

@@ -373,6 +373,87 @@ fn env_selected_replication_factor_survives_a_crash() {
     assert_eq!(c.source_count(), 60);
 }
 
+/// Cross-shard crash under ring-arc batching: the victim's replica
+/// holders sit in a *different* key-space arc than the victim itself,
+/// so with `shards = 2` the crash barrier flushes probes that routed
+/// into one arc while the promotion pulls state from the other. The
+/// sharded cluster must produce the identical `FailureReport`, message
+/// accounting and post-recovery state as a sequential twin — and a
+/// partitioned crash + heal afterwards (batching steps aside during the
+/// partition) must land both at 100% oracle agreement.
+#[test]
+fn cross_shard_crash_promotes_like_sequential_and_heals() {
+    let config = ClashConfig::small_test().with_replication(2);
+    let mk = |shards: u32| {
+        let transport = Box::new(LinkTransport::new(LinkPolicy::lan(), 11));
+        let mut c =
+            ClashCluster::with_transport(config.with_shards(shards), 8, 11, transport).unwrap();
+        for i in 0..96 {
+            c.attach_source(i, key((i * 7) % 256), 1.5).unwrap();
+        }
+        c.run_load_check().unwrap();
+        c.verify_consistency();
+        c
+    };
+    let mut seq = mk(0);
+    let mut sharded = mk(2);
+
+    // A victim whose first replica holder lives across the arc boundary:
+    // shard(h) = ⌊h · 2 / 2^bits⌋ differs between the two ids.
+    let bits = config.hash_space.bits();
+    let arc_of = |id: ServerId| ((u128::from(id.value()) * 2) >> bits) as u32;
+    let victim = seq
+        .server_ids()
+        .into_iter()
+        .find(|&id| {
+            seq.server(id).unwrap().table().active_count() > 0
+                && seq
+                    .net()
+                    .alive_successors(id, 1)
+                    .first()
+                    .is_some_and(|&s| arc_of(s) != arc_of(id))
+        })
+        .expect("some loaded owner's replica holder sits in the other arc");
+
+    let ra = seq.fail_server(victim).unwrap();
+    let rb = sharded.fail_server(victim).unwrap();
+    assert_eq!(ra, rb, "cross-shard failure reports diverged");
+    assert_eq!(ra.groups_lost, 0, "replicas existed: nothing may be lost");
+    assert_eq!(sharded.recovery_oracle_reads(), 0);
+    sharded.flush_batch().unwrap();
+    assert_eq!(seq.message_stats(), sharded.message_stats());
+    assert_eq!(seq.server_loads(), sharded.server_loads());
+    // Sweep both (the sweep itself locates, so sweeping only one would
+    // un-mirror the message accounting compared below).
+    assert_full_oracle_agreement(&mut seq);
+    assert_full_oracle_agreement(&mut sharded);
+    sharded.flush_batch().unwrap();
+
+    // Partitioned crash + heal, mirrored on both: batching is inert
+    // while partitioned, and the healed promotion must agree too.
+    let ids = seq.server_ids();
+    let (left, right) = ids.split_at(ids.len() / 2);
+    seq.partition_network(&[left.to_vec(), right.to_vec()]);
+    sharded.partition_network(&[left.to_vec(), right.to_vec()]);
+    let ra = seq.fail_server(left[0]).unwrap();
+    let rb = sharded.fail_server(left[0]).unwrap();
+    assert_eq!(ra, rb, "partitioned failure reports diverged");
+    seq.heal_partition();
+    sharded.heal_partition();
+    for _ in 0..2 {
+        let ca = seq.run_load_check().unwrap();
+        let cb = sharded.run_load_check().unwrap();
+        assert_eq!(ca, cb, "post-heal load checks diverged");
+    }
+    assert_eq!(sharded.pending_recoveries(), 0);
+    assert_eq!(sharded.recovery_oracle_reads(), 0);
+    assert_eq!(seq.message_stats(), sharded.message_stats());
+    assert_eq!(seq.server_loads(), sharded.server_loads());
+    sharded.verify_consistency();
+    assert!(sharded.global_cover().is_partition());
+    assert_full_oracle_agreement(&mut sharded);
+}
+
 /// `fail_servers` input validation is part of the public contract.
 #[test]
 fn burst_api_rejects_degenerate_input() {
