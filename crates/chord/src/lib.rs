@@ -37,6 +37,9 @@
 //! assert!(result.hops <= 12);
 //! ```
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod id;
 pub mod net;
 pub mod node;

@@ -472,6 +472,10 @@ pub struct ClashCluster {
     /// Frozen routing state for the current batch window; dropped by
     /// every ring-membership mutation, rebuilt lazily at the next flush.
     route_snapshot: Option<Arc<RouteSnapshot>>,
+    /// Debug builds: how many route phases passed the zero-cluster-RNG-draw
+    /// cross-check (the runtime mirror of the clash-lint static rules).
+    #[cfg(debug_assertions)]
+    route_draw_checks: u64,
 }
 
 impl ClashCluster {
@@ -519,10 +523,7 @@ impl ClashCluster {
             servers.insert(ClashServer::new(id, config));
             dirty_servers.insert(id.value());
         }
-        let verify_every = std::env::var("CLASH_VERIFY_EVERY")
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
-            .unwrap_or(1);
+        let verify_every = ClashConfig::verify_every_from_env();
         let mut cluster = ClashCluster {
             config,
             hasher: SplitMixHasher::new(config.hash_space, config.hash_seed),
@@ -556,6 +557,8 @@ impl ClashCluster {
             batch_touched: BTreeSet::new(),
             flush_seq: 0,
             route_snapshot: None,
+            #[cfg(debug_assertions)]
+            route_draw_checks: 0,
         };
         if cluster.config.splitting_enabled {
             cluster.bootstrap_initial_groups()?;
@@ -1092,6 +1095,14 @@ impl ClashCluster {
         Ok(())
     }
 
+    /// Debug builds: how many route phases have passed the
+    /// zero-cluster-RNG-draw cross-check. The regression test in this
+    /// module uses it to prove the instrumented path actually ran.
+    #[cfg(debug_assertions)]
+    pub fn route_draw_checks(&self) -> u64 {
+        self.route_draw_checks
+    }
+
     /// The shard + charge phases of the batch (see the field docs).
     fn flush_batch_probes(&mut self) -> Result<(), ClashError> {
         // Below this many pending probes a flush routes inline even when
@@ -1113,6 +1124,13 @@ impl ClashCluster {
                 s
             }
         };
+        // Runtime mirror of the clash-lint static rules: from here (the
+        // snapshot is frozen) until the merge-queue drain finishes, the
+        // cluster RNG must not advance — lane scrambling draws from
+        // labelled substreams and routing is pure, so any draw here would
+        // make results depend on batch timing.
+        #[cfg(debug_assertions)]
+        let draws_at_freeze = self.rng.draw_count();
         let bits = self.config.hash_space.bits();
         // Shard by target ring arc: shard(h) = ⌊h · N / 2^bits⌋ — N
         // contiguous key-space arcs.
@@ -1175,6 +1193,16 @@ impl ClashCluster {
             for (shard, lane) in lanes.into_iter().enumerate() {
                 *queue.lane_mut(shard) = route_lane(&snapshot, lane);
             }
+        }
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.rng.draw_count(),
+                draws_at_freeze,
+                "route phase drew from the cluster RNG between snapshot freeze and merge \
+                 drain; results would depend on batch timing"
+            );
+            self.route_draw_checks += 1;
         }
         // Charge phase: drain in global plan order and replay exactly
         // the accounting the sequential path interleaves per op — hop
@@ -4186,5 +4214,35 @@ mod tests {
         }
         // log2(8+1) + 1 ≈ 4.2 → allow 5.
         assert!(max_probes <= 5, "max probes {max_probes}");
+    }
+
+    /// Runtime mirror of the clash-lint static rules, pinned: the sharded
+    /// route phase (snapshot freeze → merge drain) must never draw from
+    /// the cluster RNG — the in-phase assertion fails the flush if it
+    /// does, and `route_draw_checks` proves the instrumented path really
+    /// ran, on both sides of the inline/threaded routing threshold.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn route_phase_draws_zero_from_cluster_rng() {
+        let config = ClashConfig::small_test().with_shards(4);
+        let mut c = ClashCluster::new(config, 8, 1).unwrap();
+        // Small batch: routes inline (below the worker threshold).
+        for i in 0..8u64 {
+            c.attach_source(i, key(i * 31), 1.0).unwrap();
+        }
+        c.flush_batch().unwrap();
+        let after_inline = c.route_draw_checks();
+        assert!(after_inline > 0, "inline route phase was never checked");
+        // Large batch: crosses PAR_ROUTE_MIN, routes on worker threads.
+        for i in 8..300u64 {
+            c.attach_source(i, key(i % 256), 1.0).unwrap();
+        }
+        c.flush_batch().unwrap();
+        assert!(
+            c.route_draw_checks() > after_inline,
+            "threaded route phase was never checked"
+        );
+        c.run_load_check().unwrap();
+        c.verify_consistency();
     }
 }

@@ -167,6 +167,17 @@ impl ClashConfig {
             .unwrap_or(0)
     }
 
+    /// The debug-build `verify_consistency` sampling period named by the
+    /// `CLASH_VERIFY_EVERY` environment variable, or 1 (verify after every
+    /// load check — the historical behavior) when unset/unparsable. 0
+    /// disables the sweep entirely.
+    pub fn verify_every_from_env() -> u32 {
+        std::env::var("CLASH_VERIFY_EVERY")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1)
+    }
+
     /// A copy with the given ring-arc shard count for batched locates.
     pub fn with_shards(self, shards: u32) -> Self {
         ClashConfig { shards, ..self }

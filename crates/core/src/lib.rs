@@ -49,6 +49,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod arena;
 pub mod client;
 pub mod cluster;

@@ -37,6 +37,9 @@
 //! # Ok::<(), clash_keyspace::error::KeyError>(())
 //! ```
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod cover;
 pub mod error;
 pub mod hash;

@@ -1,0 +1,105 @@
+//! Per-crate path policies: which rules apply where.
+//!
+//! Paths are workspace-relative with `/` separators (the walker and the
+//! fixture tests both produce that form). The policy encodes the repo's
+//! determinism contract:
+//!
+//! * **Protocol crates** (`core`, `chord`, `keyspace`, `transport`,
+//!   `streamquery`, `workload`, `simkernel`) and the root facade `src/`
+//!   carry the full contract — their behavior is pinned bit-for-bit by the
+//!   shard-equivalence harness and the transport pins.
+//! * **Harness crates** (`sim`, `bench`, `lint`) may measure wall-clock
+//!   time, but still may not draw ambient randomness or spawn unregistered
+//!   threads.
+//! * Root `tests/` and `examples/` are harness entry points: only the
+//!   everywhere-rules (ambient RNG) apply.
+
+/// Crates whose behavior is covered by the bit-for-bit determinism pins.
+pub const PROTOCOL_CRATES: &[&str] = &[
+    "core",
+    "chord",
+    "keyspace",
+    "transport",
+    "streamquery",
+    "workload",
+    "simkernel",
+];
+
+/// The only files allowed to use `std::thread` (both run worker fan-out
+/// under `std::thread::scope` against frozen snapshots, merging results
+/// deterministically).
+pub const REGISTERED_THREAD_SITES: &[&str] = &[
+    "crates/core/src/cluster.rs",
+    "crates/sim/src/experiments/mod.rs",
+];
+
+/// File basenames allowed to read process environment variables: the
+/// config/report entry points, so experiment behavior stays flag-driven.
+pub const ENV_ENTRY_BASENAMES: &[&str] = &["config.rs", "report.rs"];
+
+/// Where the `MessageClass` enum lives and where its variants must be
+/// charged. `exhaustive-charging` reads variants from the first, call
+/// sites from under the second.
+pub const MESSAGE_CLASS_DEF: &str = "crates/transport/src/lib.rs";
+pub const CHARGING_ROOT: &str = "crates/core/src/";
+
+/// True for files inside one of the protocol crates' `src/` trees, or the
+/// root facade `src/`.
+pub fn is_protocol(path: &str) -> bool {
+    if path.starts_with("src/") {
+        return true;
+    }
+    PROTOCOL_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+/// True for any workspace crate source (protocol or harness) plus the root
+/// facade — i.e. everything except root `tests/` and `examples/`.
+pub fn is_crate_source(path: &str) -> bool {
+    path.starts_with("crates/") || path.starts_with("src/")
+}
+
+/// True if `path` is one of the registered `std::thread` sites.
+pub fn is_registered_thread_site(path: &str) -> bool {
+    REGISTERED_THREAD_SITES.contains(&path)
+}
+
+/// True if `path` may call `std::env::var`: config/report entry points and
+/// binary entry points (`src/bin/...`).
+pub fn is_env_entry_point(path: &str) -> bool {
+    if path.contains("/bin/") {
+        return true;
+    }
+    let base = path.rsplit('/').next().unwrap_or(path);
+    ENV_ENTRY_BASENAMES.contains(&base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_classification() {
+        assert!(is_protocol("crates/core/src/cluster.rs"));
+        assert!(is_protocol("crates/simkernel/src/rng.rs"));
+        assert!(is_protocol("src/lib.rs"));
+        assert!(!is_protocol("crates/sim/src/driver.rs"));
+        assert!(!is_protocol("crates/bench/src/lib.rs"));
+        assert!(!is_protocol("tests/shard_equivalence.rs"));
+    }
+
+    #[test]
+    fn env_entry_points() {
+        assert!(is_env_entry_point("crates/core/src/config.rs"));
+        assert!(is_env_entry_point("crates/sim/src/report.rs"));
+        assert!(is_env_entry_point("crates/sim/src/bin/scale.rs"));
+        assert!(!is_env_entry_point("crates/core/src/cluster.rs"));
+    }
+
+    #[test]
+    fn registered_sites() {
+        assert!(is_registered_thread_site("crates/core/src/cluster.rs"));
+        assert!(!is_registered_thread_site("crates/core/src/server.rs"));
+    }
+}

@@ -36,6 +36,9 @@
 //! assert_eq!(ev, Ev::Tick(2));
 //! ```
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod dist;
 pub mod event;
 pub mod merge;

@@ -59,6 +59,7 @@ pub fn derive_seed(root: u64, label: &str) -> u64 {
 pub struct DetRng {
     seed: u64,
     inner: SmallRng,
+    draws: u64,
 }
 
 impl DetRng {
@@ -67,6 +68,7 @@ impl DetRng {
         DetRng {
             seed,
             inner: SmallRng::seed_from_u64(seed),
+            draws: 0,
         }
     }
 
@@ -75,8 +77,21 @@ impl DetRng {
         self.seed
     }
 
+    /// How many times this generator has been drawn from (each helper
+    /// counts one; a [`DetRng::rng`] access counts one however many values
+    /// the caller pulls through it). Substreams start back at zero; a
+    /// clone keeps its parent's count.
+    ///
+    /// This is the runtime mirror of the `clash-lint` static rules: phases
+    /// that must not consume protocol randomness — the sharded route phase
+    /// between snapshot freeze and merge drain — assert this stays flat.
+    pub fn draw_count(&self) -> u64 {
+        self.draws
+    }
+
     /// Mutable access to the underlying RNG (implements [`rand::Rng`]).
     pub fn rng(&mut self) -> &mut SmallRng {
+        self.draws += 1;
         &mut self.inner
     }
 
@@ -96,6 +111,7 @@ impl DetRng {
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
+        self.draws += 1;
         self.inner.gen::<f64>()
     }
 
@@ -105,6 +121,7 @@ impl DetRng {
     ///
     /// Panics if `bound` is zero.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        self.draws += 1;
         assert!(bound > 0, "uniform_u64 bound must be positive");
         self.inner.gen_range(0..bound)
     }
@@ -115,12 +132,14 @@ impl DetRng {
     ///
     /// Panics if `len` is zero.
     pub fn uniform_index(&mut self, len: usize) -> usize {
+        self.draws += 1;
         assert!(len > 0, "uniform_index len must be positive");
         self.inner.gen_range(0..len)
     }
 
     /// A raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         self.inner.gen()
     }
 
@@ -130,6 +149,7 @@ impl DetRng {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
+        self.draws += 1;
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         self.inner.gen::<f64>() < p
     }
@@ -210,6 +230,26 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
         let p = hits as f64 / 100_000.0;
         assert!((p - 0.25).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn draw_count_tracks_every_helper_and_rng_access() {
+        let mut r = DetRng::new(9);
+        assert_eq!(r.draw_count(), 0);
+        r.uniform_f64();
+        r.uniform_u64(10);
+        r.uniform_index(10);
+        r.next_u64();
+        r.chance(0.5);
+        assert_eq!(r.draw_count(), 5);
+        let _ = r.rng().gen::<u64>();
+        assert_eq!(r.draw_count(), 6);
+        // Substreams are fresh counters; forking draws nothing from self.
+        let fork = r.substream("child");
+        assert_eq!(fork.draw_count(), 0);
+        assert_eq!(r.draw_count(), 6);
+        // A clone carries the parent's count.
+        assert_eq!(r.clone().draw_count(), 6);
     }
 
     #[test]

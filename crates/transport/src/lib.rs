@@ -31,6 +31,9 @@
 //! overhead and partition behavior measurable — see the `netfault`
 //! experiment in `clash-sim`.
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod link;
 pub mod policy;
 

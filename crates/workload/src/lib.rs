@@ -39,6 +39,9 @@
 //! assert!(workload.mass_of_base(spike) > 0.1);
 //! ```
 
+// The grep audit at PR 7 found zero `unsafe` in the protocol crates;
+// lock that in — determinism reasoning assumes no aliasing backdoors.
+#![forbid(unsafe_code)]
 pub mod churn;
 pub mod scenario;
 pub mod skew;
