@@ -33,9 +33,13 @@ use clash_keyspace::cover::{PrefixCover, PrefixMap};
 use clash_keyspace::hash::{KeyHasher, SplitMixHasher};
 use clash_keyspace::key::Key;
 use clash_keyspace::prefix::Prefix;
+use clash_obs::{
+    CheckPhase, NullProfiler, NullSink, PhaseProfile, PhaseProfiler, Telemetry, TraceEvent,
+    TraceEventKind, TraceSink,
+};
 use clash_simkernel::merge::MergeQueue;
 use clash_simkernel::rng::DetRng;
-use clash_simkernel::time::SimDuration;
+use clash_simkernel::time::{SimDuration, SimTime};
 use clash_transport::{Delivery, InstantTransport, MessageClass, Transport, TransportStats};
 
 use crate::arena::ServerArena;
@@ -348,7 +352,13 @@ struct PlannedProbe {
     owner: ServerId,
     /// True when this probe completed its locate: the charge phase
     /// counts the locate and observes the op's accumulated latency here.
+    /// For the adaptive protocol this is also the accepting probe.
     op_end: bool,
+    /// The located key's bits — carried so the charge phase can emit the
+    /// flight-recorder probe event in plan order (zero cost otherwise).
+    key_bits: u64,
+    /// The depth this probe guessed (see `key_bits`).
+    depth: u32,
 }
 
 /// A planned probe after shard-local routing: the plan plus the routed
@@ -476,6 +486,30 @@ pub struct ClashCluster {
     /// cross-check (the runtime mirror of the clash-lint static rules).
     #[cfg(debug_assertions)]
     route_draw_checks: u64,
+    // ----- observability -------------------------------------------------
+    //
+    // The flight recorder and profiler are strictly passive: events are
+    // pre-stamped with the driver-advanced virtual clock, recording never
+    // draws RNG or reads a wall clock (the one clock reader lives in
+    // `clash-obs`, behind the `PhaseProfiler` trait), and nothing here
+    // feeds back into protocol decisions — `tests/trace_equivalence.rs`
+    // pins bit-for-bit identical fingerprints with tracing on and off.
+    /// Where emitted `TraceEvent`s go (`NullSink` by default).
+    trace: Box<dyn TraceSink>,
+    /// Cached `trace.enabled()`: emit sites test this bool and skip
+    /// event construction entirely when tracing is off.
+    trace_on: bool,
+    /// Monotone event sequence number (orders same-instant events).
+    trace_seq: u64,
+    /// Load checks run since construction (the trace ordinal).
+    load_checks_run: u64,
+    /// Virtual "now" for event stamps, advanced by the driver before it
+    /// dispatches each simulation event; zero in cluster-only tests.
+    sim_now: SimTime,
+    /// Per-phase load-check/flush profiler (`NullProfiler` by default).
+    profiler: Box<dyn PhaseProfiler>,
+    /// True once a real profiler is installed.
+    profile_on: bool,
 }
 
 impl ClashCluster {
@@ -559,6 +593,13 @@ impl ClashCluster {
             route_snapshot: None,
             #[cfg(debug_assertions)]
             route_draw_checks: 0,
+            trace: Box::new(NullSink),
+            trace_on: false,
+            trace_seq: 0,
+            load_checks_run: 0,
+            sim_now: SimTime::ZERO,
+            profiler: Box::new(NullProfiler),
+            profile_on: false,
         };
         if cluster.config.splitting_enabled {
             cluster.bootstrap_initial_groups()?;
@@ -793,6 +834,141 @@ impl ClashCluster {
         self.pending_recovery.len()
     }
 
+    // ----- observability -------------------------------------------------
+
+    /// Installs a flight-recorder sink; whatever the previous sink still
+    /// buffered is discarded with it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_on = sink.enabled();
+        self.trace = sink;
+    }
+
+    /// Installs a per-phase profiler (the driver wires a wall-clock one;
+    /// the cluster itself only names phases and never reads a clock).
+    pub fn set_profiler(&mut self, profiler: Box<dyn PhaseProfiler>) {
+        self.profile_on = true;
+        self.profiler = profiler;
+    }
+
+    /// The profiler's accumulated per-phase milliseconds.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        self.profiler.profile()
+    }
+
+    /// Advances the recorder's virtual clock. The driver calls this
+    /// before dispatching each simulation event so every trace stamp is
+    /// the sim time of the decision, not a wall-clock reading.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.sim_now = now;
+    }
+
+    /// Drains everything the flight recorder buffered, oldest first.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Events the bounded ring sink had to shed (0 for other sinks).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Total protocol RNG draws since construction. Trace collection
+    /// must never move this — `tests/trace_equivalence.rs` pins it.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.draw_count()
+    }
+
+    /// Records one event. Callers guard with `self.trace_on` so the
+    /// disabled path never even constructs the event.
+    fn emit(&mut self, kind: TraceEventKind) {
+        let ev = TraceEvent {
+            at: self.sim_now,
+            seq: self.trace_seq,
+            kind,
+        };
+        self.trace_seq += 1;
+        self.trace.record(ev);
+    }
+
+    fn phase_begin(&mut self, phase: CheckPhase) {
+        if self.profile_on {
+            self.profiler.begin(phase);
+        }
+    }
+
+    fn phase_end(&mut self, phase: CheckPhase) {
+        if self.profile_on {
+            self.profiler.end(phase);
+        }
+    }
+
+    /// On a consistency failure: dump the flight recorder's tail to
+    /// stderr so the panic message comes with the decisions that led
+    /// there. No-op when tracing is off or nothing is buffered.
+    fn dump_trace_tail(&self) {
+        const TAIL: usize = 64;
+        let tail = self.trace.tail(TAIL);
+        if tail.is_empty() {
+            return;
+        }
+        eprintln!(
+            "--- flight recorder: last {} event(s) before failure ({} shed) ---",
+            tail.len(),
+            self.trace.dropped()
+        );
+        for ev in &tail {
+            eprintln!(
+                "  [{:>12} us seq {:>8}] {:?}",
+                ev.at.as_micros(),
+                ev.seq,
+                ev.kind
+            );
+        }
+        eprintln!("--- end flight recorder tail ---");
+    }
+
+    /// Exports the cluster's counters and latency distributions into a
+    /// unified [`Telemetry`] registry (the driver layers its own
+    /// counters on top under a `driver.` prefix).
+    pub fn telemetry(&self) -> Telemetry {
+        let mut t = Telemetry::new();
+        let m = &self.msgs;
+        t.counter("messages.probes", m.probes);
+        t.counter("messages.probe_messages", m.probe_messages);
+        t.counter("messages.locates", m.locates);
+        t.counter("messages.split_messages", m.split_messages);
+        t.counter("messages.merge_messages", m.merge_messages);
+        t.counter("messages.report_messages", m.report_messages);
+        t.counter(
+            "messages.state_transfer_messages",
+            m.state_transfer_messages,
+        );
+        t.counter("messages.redirect_messages", m.redirect_messages);
+        t.counter("messages.splits", m.splits);
+        t.counter("messages.merges", m.merges);
+        t.counter("messages.accept_keygroups", m.accept_keygroups);
+        t.counter("messages.self_mapped_retries", m.self_mapped_retries);
+        t.counter("messages.handoff_messages", m.handoff_messages);
+        t.counter("messages.joins", m.joins);
+        t.counter("messages.leaves", m.leaves);
+        t.counter("messages.replication_messages", m.replication_messages);
+        t.counter("messages.control_total", m.control_messages());
+        t.counter("messages.total", m.total_messages());
+        t.gauge("servers.active", self.server_count() as f64);
+        t.gauge("recovery.pending", self.pending_recovery.len() as f64);
+        t.counter("recovery.oracle_reads", self.recovery_oracle_reads());
+        t.counter("trace.dropped", self.trace.dropped());
+        t.counter("rng.draws", self.rng.draw_count());
+        let l = &self.latency;
+        t.summary("latency.locate_ms", l.locate.summary().snapshot());
+        t.summary("latency.report_ms", l.report.summary().snapshot());
+        t.summary("latency.split_ms", l.split.summary().snapshot());
+        t.summary("latency.merge_ms", l.merge.summary().snapshot());
+        t.summary("latency.handoff_ms", l.handoff.summary().snapshot());
+        t.summary("latency.replication_ms", l.replication.summary().snapshot());
+        t
+    }
+
     /// True if `source_id` is currently attached. Sources die when their
     /// group is lost in an unrecoverable crash, so long-running drivers
     /// check before re-keying a stream.
@@ -998,7 +1174,17 @@ impl ClashCluster {
                 .get_mut(lookup.owner.value())
                 .expect("owner is a ring member");
             let response = responder.handle_accept_object(key, guess);
-            match search.record(guess, response)? {
+            let outcome = search.record(guess, response)?;
+            if self.trace_on {
+                self.emit(TraceEventKind::LocateProbe {
+                    key: key.bits(),
+                    depth: guess,
+                    server: lookup.owner.value(),
+                    accepted: matches!(outcome, SearchOutcome::Found { .. }),
+                    hop: search.probes(),
+                });
+            }
+            match outcome {
                 SearchOutcome::Found { depth, .. } => {
                     self.msgs.locates += 1;
                     self.latency.locate.observe(ms(op_latency));
@@ -1048,6 +1234,8 @@ impl ClashCluster {
                 target: h,
                 owner,
                 op_end: false,
+                key_bits: key.bits(),
+                depth: guess,
             });
             let responder = self
                 .servers
@@ -1116,6 +1304,15 @@ impl ClashCluster {
         let probes = std::mem::take(&mut self.batch_probes);
         let probe_count = probes.len();
         let n_shards = self.config.shards.max(1) as usize;
+        let this_flush = self.flush_seq;
+        if self.trace_on {
+            self.emit(TraceEventKind::FlushBegin {
+                flush_seq: this_flush,
+                probes: probe_count as u64,
+                shards: u64::from(self.config.shards),
+            });
+        }
+        self.phase_begin(CheckPhase::FlushPlan);
         let snapshot = match &self.route_snapshot {
             Some(s) => Arc::clone(s),
             None => {
@@ -1157,6 +1354,8 @@ impl ClashCluster {
             }
         }
         self.flush_seq += 1;
+        self.phase_end(CheckPhase::FlushPlan);
+        self.phase_begin(CheckPhase::FlushRoute);
         // Shard phase: resolve each lane's routes against the frozen
         // snapshot — worker threads when sharding is real and the batch
         // is big enough to pay for them, inline otherwise (same code
@@ -1204,11 +1403,14 @@ impl ClashCluster {
             );
             self.route_draw_checks += 1;
         }
+        self.phase_end(CheckPhase::FlushRoute);
+        self.phase_begin(CheckPhase::FlushMerge);
         // Charge phase: drain in global plan order and replay exactly
         // the accounting the sequential path interleaves per op — hop
         // stats, per-link transport draws, probe counters, and the
         // locate latency observation at each op's final probe.
         let mut op_latency = SimDuration::ZERO;
+        let mut op_hop = 0_u32;
         for (_, routed) in queue.drain() {
             debug_assert_eq!(
                 routed.owner, routed.plan.owner,
@@ -1223,11 +1425,28 @@ impl ClashCluster {
             )?;
             self.msgs.probes += 1;
             self.msgs.probe_messages += u64::from(routed.hops) + 1;
+            op_hop += 1;
+            if self.trace_on {
+                self.emit(TraceEventKind::LocateProbe {
+                    key: routed.plan.key_bits,
+                    depth: routed.plan.depth,
+                    server: routed.owner.value(),
+                    accepted: routed.plan.op_end,
+                    hop: op_hop,
+                });
+            }
             if routed.plan.op_end {
                 self.msgs.locates += 1;
                 self.latency.locate.observe(ms(op_latency));
                 op_latency = SimDuration::ZERO;
+                op_hop = 0;
             }
+        }
+        self.phase_end(CheckPhase::FlushMerge);
+        if self.trace_on {
+            self.emit(TraceEventKind::FlushEnd {
+                flush_seq: this_flush,
+            });
         }
         Ok(())
     }
@@ -1767,6 +1986,14 @@ impl ClashCluster {
     /// operation; the tests rely on this).
     pub fn run_load_check(&mut self) -> Result<LoadCheckReport, ClashError> {
         self.flush_batch()?;
+        self.load_checks_run += 1;
+        let ordinal = self.load_checks_run;
+        if self.trace_on {
+            self.emit(TraceEventKind::LoadCheckBegin {
+                ordinal,
+                dirty_servers: self.dirty_servers.len() as u64,
+            });
+        }
         if self.full_scan_checks {
             // Reference mode: reclassify everything from scratch, exactly
             // like the historical per-period sweep.
@@ -1775,14 +2002,31 @@ impl ClashCluster {
         }
         let mut report = LoadCheckReport::default();
         if self.replication_enabled() {
-            self.retry_deferred_recoveries(&mut report)?;
+            self.phase_begin(CheckPhase::Recovery);
+            let recovery_result = self.retry_deferred_recoveries(&mut report);
+            self.phase_end(CheckPhase::Recovery);
+            recovery_result?;
         }
         if !self.config.splitting_enabled {
+            self.phase_begin(CheckPhase::ReplicaSync);
             self.sync_replicas();
+            self.phase_end(CheckPhase::ReplicaSync);
+            if self.trace_on {
+                self.emit(TraceEventKind::LoadCheckEnd {
+                    ordinal,
+                    splits: 0,
+                    merges: 0,
+                });
+            }
             return Ok(report);
         }
+        self.phase_begin(CheckPhase::CandidateRefresh);
         self.refresh_candidates();
+        self.phase_end(CheckPhase::CandidateRefresh);
+        self.phase_begin(CheckPhase::Reports);
         self.deliver_load_reports();
+        self.phase_end(CheckPhase::Reports);
+        self.phase_begin(CheckPhase::Splits);
         // Split phase. The historical sweep walked every server in
         // ascending id order, splitting while overloaded; walking the
         // overloaded candidate set behind an ascending cursor visits
@@ -1814,6 +2058,8 @@ impl ClashCluster {
             };
             cursor = next;
         }
+        self.phase_end(CheckPhase::Splits);
+        self.phase_begin(CheckPhase::Merges);
         // Merge phase, same cursor discipline over the mergeable set
         // (underloaded servers holding at least one split entry — the
         // only ones the full walk could have done anything with).
@@ -1850,8 +2096,18 @@ impl ClashCluster {
             };
             cursor = next;
         }
+        self.phase_end(CheckPhase::Merges);
+        self.phase_begin(CheckPhase::ReplicaSync);
         self.sync_replicas();
+        self.phase_end(CheckPhase::ReplicaSync);
         self.debug_verify();
+        if self.trace_on {
+            self.emit(TraceEventKind::LoadCheckEnd {
+                ordinal,
+                splits: report.splits.len() as u64,
+                merges: report.merges.len() as u64,
+            });
+        }
         Ok(report)
     }
 
@@ -1901,6 +2157,13 @@ impl ClashCluster {
         let server_id = splitter.id();
         let Some(hot) = splitter.hottest_splittable() else {
             return Ok(None);
+        };
+        // The load that triggered this split, for the flight recorder
+        // (only read when tracing — the protocol itself re-reads live).
+        let trigger_load = if self.trace_on {
+            splitter.current_load()
+        } else {
+            0.0
         };
         let mut group = hot;
         let mut op_latency = SimDuration::ZERO;
@@ -1967,6 +2230,19 @@ impl ClashCluster {
             let right_queries = right_ledger.queries.len() as u64;
             let right_sources = right_ledger.sources.len() as u64;
             self.ledgers.insert(right, right_ledger);
+            if self.trace_on {
+                // One event per committed binary split (self-mapped retry
+                // iterations each count), matching `msgs.splits`.
+                self.emit(TraceEventKind::Split {
+                    server: server_id.value(),
+                    group_bits: group.pattern(),
+                    group_depth: group.depth(),
+                    load: trigger_load,
+                    left_load: left_load.data_rate,
+                    right_load: right_load.data_rate,
+                    right_child_server: target.value(),
+                });
+            }
             self.global_index.remove(group);
             self.global_index.insert(left, server_id);
             self.servers
@@ -2088,6 +2364,12 @@ impl ClashCluster {
         let Some((parent, right_holder, _combined)) = merger.merge_candidate() else {
             return Ok(MergeOutcome::NoCandidate);
         };
+        // Flight-recorder context only (see `try_split`).
+        let trigger_load = if self.trace_on {
+            merger.current_load()
+        } else {
+            0.0
+        };
         let (left, right) = parent.split().expect("candidate parents were split");
         if right_holder == server_id {
             // Both children local: no messages.
@@ -2148,11 +2430,27 @@ impl ClashCluster {
                         .expect("server exists")
                         .table_mut()
                         .clear_child_report(parent);
+                    if self.trace_on {
+                        self.emit(TraceEventKind::MergeRefused {
+                            server: server_id.value(),
+                            sibling_server: right_holder.value(),
+                            parent_depth: parent.depth(),
+                        });
+                    }
                     return Ok(MergeOutcome::Refused);
                 }
             }
         }
         self.msgs.merges += 1;
+        if self.trace_on {
+            self.emit(TraceEventKind::Merge {
+                server: server_id.value(),
+                parent_bits: parent.pattern(),
+                parent_depth: parent.depth(),
+                load: trigger_load,
+                local: right_holder == server_id,
+            });
+        }
         // Merge the ledgers and update the oracle.
         let left_ledger = self.ledgers.remove(&left).unwrap_or_default();
         let right_ledger = self.ledgers.remove(&right).unwrap_or_default();
@@ -2246,6 +2544,11 @@ impl ClashCluster {
         self.servers.insert(ClashServer::new(new_id, self.config));
         self.mark_dirty(new_id.value());
         self.msgs.joins += 1;
+        if self.trace_on {
+            self.emit(TraceEventKind::ServerJoined {
+                server: new_id.value(),
+            });
+        }
         // Every entry whose Map() owner is now the new node currently
         // sits on the new node's ring successor (the placement invariant
         // checked by `verify_consistency`), so only that one table needs
@@ -2344,6 +2647,11 @@ impl ClashCluster {
         // The departure announcement to the ring successor.
         self.msgs.handoff_messages += 1;
         self.msgs.leaves += 1;
+        if self.trace_on {
+            self.emit(TraceEventKind::ServerLeft {
+                server: victim.value(),
+            });
+        }
         self.net.remove_node(victim);
         let rounds = self.net.stabilize_direct();
         self.route_snapshot = None;
@@ -2529,6 +2837,9 @@ impl ClashCluster {
         for v in victims {
             self.forget_server(v.value());
             self.net.fail(*v);
+            if self.trace_on {
+                self.emit(TraceEventKind::ServerCrashed { server: v.value() });
+            }
         }
         self.net.stabilize_direct();
         self.route_snapshot = None;
@@ -2822,6 +3133,14 @@ impl ClashCluster {
                 self.ensure_replicas(group, new_owner);
                 report.groups_reassigned += 1;
                 report.groups_recovered += 1;
+                if self.trace_on {
+                    self.emit(TraceEventKind::ReplicaPromoted {
+                        failed: old_owner.value(),
+                        group_bits: group.pattern(),
+                        group_depth: group.depth(),
+                        new_owner: new_owner.value(),
+                    });
+                }
                 Ok(Some(new_owner))
             }
             None if !candidates.is_empty() => {
@@ -2837,6 +3156,13 @@ impl ClashCluster {
                     },
                 );
                 report.groups_deferred += 1;
+                if self.trace_on {
+                    self.emit(TraceEventKind::RecoveryDeferred {
+                        failed: old_owner.value(),
+                        group_bits: group.pattern(),
+                        group_depth: group.depth(),
+                    });
+                }
                 Ok(None)
             }
             None => {
@@ -2863,6 +3189,14 @@ impl ClashCluster {
                 self.ensure_replicas(group, new_owner);
                 report.groups_reassigned += 1;
                 report.groups_lost += 1;
+                if self.trace_on {
+                    self.emit(TraceEventKind::RecoveryLost {
+                        failed: old_owner.value(),
+                        group_bits: group.pattern(),
+                        group_depth: group.depth(),
+                        clients_dropped: (live_sources.len() + live_queries.len()) as u64,
+                    });
+                }
                 Ok(Some(new_owner))
             }
         }
@@ -2914,7 +3248,7 @@ impl ClashCluster {
                 &membership,
                 &mut tally,
             ) {
-                Ok(Some(_)) => {
+                Ok(Some(new_owner)) => {
                     if tally.groups_lost > lost_before {
                         report.recoveries_lost += 1;
                         if rec.single_crash {
@@ -2922,6 +3256,13 @@ impl ClashCluster {
                         }
                     } else {
                         report.recoveries_completed += 1;
+                        if self.trace_on {
+                            self.emit(TraceEventKind::RecoveryRetried {
+                                group_bits: group.pattern(),
+                                group_depth: group.depth(),
+                                new_owner: new_owner.value(),
+                            });
+                        }
                     }
                     // Client losses surface even on a successful promotion
                     // (a partition-starved replica reconciles them away).
@@ -3016,10 +3357,29 @@ impl ClashCluster {
     /// tables and the ledgers. Cheap enough for tests; called after every
     /// load check in debug builds.
     ///
+    /// On failure, the flight recorder's tail is dumped to stderr first
+    /// (when a sink is installed), so the panic arrives with the protocol
+    /// decisions that led to it.
+    ///
     /// # Panics
     ///
     /// Panics on any inconsistency (these are bugs, not runtime errors).
     pub fn verify_consistency(&self) {
+        self.run_with_trace_dump(|c| c.verify_consistency_inner());
+    }
+
+    /// Runs `f`; if it panics, dumps the flight-recorder tail to stderr
+    /// and re-raises the original panic payload. Pure observation — the
+    /// panic (message and all) continues exactly as it would have.
+    fn run_with_trace_dump(&self, f: impl FnOnce(&Self)) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        if let Err(payload) = result {
+            self.dump_trace_tail();
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn verify_consistency_inner(&self) {
         // 1. Global index entries are active on their owners.
         for (group, &owner) in self.global_index.iter() {
             let server = self.server(owner).expect("owner exists");
@@ -3142,7 +3502,7 @@ impl ClashCluster {
         }
         self.verify_countdown.set(self.verify_every);
         self.verify_consistency();
-        self.verify_candidate_indices();
+        self.run_with_trace_dump(|c| c.verify_candidate_indices());
     }
 
     #[cfg(not(debug_assertions))]

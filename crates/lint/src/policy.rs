@@ -8,9 +8,11 @@
 //!   `streamquery`, `workload`, `simkernel`) and the root facade `src/`
 //!   carry the full contract — their behavior is pinned bit-for-bit by the
 //!   shard-equivalence harness and the transport pins.
-//! * **Harness crates** (`sim`, `bench`, `lint`) may measure wall-clock
-//!   time, but still may not draw ambient randomness or spawn unregistered
-//!   threads.
+//! * **Wall-clock crates** (`sim`, `bench`, `lint`, `obs`) may measure
+//!   wall-clock time — the harness crates because they time real runs,
+//!   `obs` because it is where the profiling clock reader
+//!   (`WallProfiler`) lives — but still may not draw ambient randomness
+//!   or spawn unregistered threads.
 //! * Root `tests/` and `examples/` are harness entry points: only the
 //!   everywhere-rules (ambient RNG) apply.
 
@@ -24,6 +26,13 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "workload",
     "simkernel",
 ];
+
+/// Crates whose sources may read the wall clock (`Instant`,
+/// `SystemTime`): the harness crates that time real runs, plus `obs`,
+/// home of the only profiling clock reader (`WallProfiler`). Every
+/// other crate source — protocol crates and the root facade — must use
+/// virtual time.
+pub const WALL_CLOCK_CRATES: &[&str] = &["sim", "bench", "lint", "obs"];
 
 /// The only files allowed to use `std::thread` (both run worker fan-out
 /// under `std::thread::scope` against frozen snapshots, merging results
@@ -60,6 +69,13 @@ pub fn is_crate_source(path: &str) -> bool {
     path.starts_with("crates/") || path.starts_with("src/")
 }
 
+/// True if `path` belongs to a registered wall-clock crate.
+pub fn may_read_wall_clock(path: &str) -> bool {
+    WALL_CLOCK_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
 /// True if `path` is one of the registered `std::thread` sites.
 pub fn is_registered_thread_site(path: &str) -> bool {
     REGISTERED_THREAD_SITES.contains(&path)
@@ -87,6 +103,17 @@ mod tests {
         assert!(!is_protocol("crates/sim/src/driver.rs"));
         assert!(!is_protocol("crates/bench/src/lib.rs"));
         assert!(!is_protocol("tests/shard_equivalence.rs"));
+    }
+
+    #[test]
+    fn wall_clock_classification() {
+        assert!(may_read_wall_clock("crates/sim/src/driver.rs"));
+        assert!(may_read_wall_clock("crates/bench/src/lib.rs"));
+        assert!(may_read_wall_clock("crates/obs/src/profile.rs"));
+        assert!(may_read_wall_clock("crates/lint/src/main.rs"));
+        assert!(!may_read_wall_clock("crates/core/src/cluster.rs"));
+        assert!(!may_read_wall_clock("crates/simkernel/src/time.rs"));
+        assert!(!may_read_wall_clock("src/lib.rs"));
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub const ALLOW_DIRECTIVE: &str = "allow-directive";
 pub const RULES: &[(&str, &str)] = &[
     (
         NO_WALL_CLOCK,
-        "Instant/SystemTime forbidden in protocol crates; time is virtual (SimTime)",
+        "Instant/SystemTime only in registered wall-clock crates (sim, bench, lint, obs); \
+         protocol time is virtual (SimTime)",
     ),
     (
         NO_AMBIENT_RNG,
@@ -139,14 +140,19 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
         let line = toks[i].line;
         match t {
             // ---- no-wall-clock -------------------------------------------
-            "Instant" | "SystemTime" if protocol => {
+            // Allowlist, not protocol-list: any crate source outside the
+            // registered wall-clock crates is held to virtual time, so a
+            // new crate is covered the day it is added to the workspace.
+            "Instant" | "SystemTime" if crate_src && !policy::may_read_wall_clock(path) => {
                 diag(
                     out,
                     NO_WALL_CLOCK,
                     line,
                     format!(
-                        "`{t}` reads the wall clock; protocol crates must use virtual time \
-                         (clash_simkernel::time) so same seed => identical RunResult"
+                        "`{t}` reads the wall clock outside the registered wall-clock crates \
+                         ({}); use virtual time (clash_simkernel::time) so same seed => \
+                         identical RunResult",
+                        policy::WALL_CLOCK_CRATES.join(", ")
                     ),
                 );
             }

@@ -47,6 +47,38 @@ fn wall_clock_allowed_in_sim_and_bench() {
 }
 
 #[test]
+fn wall_clock_allowed_in_obs_and_lint() {
+    // `obs` hosts the one profiling clock reader (WallProfiler); `lint`
+    // times its own runs. Both are registered wall-clock crates.
+    for path in ["crates/obs/src/profile.rs", "crates/lint/src/main.rs"] {
+        let diags = lint_one(path, "fn t() { let t0 = std::time::Instant::now(); }");
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn wall_clock_fires_in_unregistered_crates_and_facade() {
+    // The rule is an allowlist, not a protocol list: a future crate that
+    // is neither protocol nor registered is covered from day one, and
+    // the root facade stays on virtual time.
+    for path in ["src/lib.rs", "crates/newthing/src/lib.rs"] {
+        let diags = lint_one(path, "fn t() { let t0 = std::time::Instant::now(); }");
+        assert_eq!(fired(&diags), vec!["no-wall-clock"], "{path}");
+    }
+}
+
+#[test]
+fn wall_clock_unchecked_in_root_tests() {
+    // Root tests/ and examples/ are harness entry points, outside crate
+    // sources: they may time themselves.
+    let diags = lint_one(
+        "tests/scale_perf.rs",
+        "fn t() { let t0 = std::time::Instant::now(); }",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn sim_instant_ident_is_not_wall_clock() {
     let diags = lint_one(
         "crates/simkernel/src/time.rs",
@@ -298,6 +330,17 @@ fn env_var_ok_in_entry_points() {
         let diags = lint_one(path, "fn f() { let v = std::env::var(\"CLASH_X\"); }");
         assert!(diags.is_empty(), "{path}: {diags:?}");
     }
+}
+
+#[test]
+fn env_var_fires_in_obs() {
+    // `obs` may read the wall clock, but it gets no env-var privileges:
+    // telemetry must stay flag-driven like everything else.
+    let diags = lint_one(
+        "crates/obs/src/telemetry.rs",
+        "fn f() { let v = std::env::var(\"CLASH_TRACE\"); }",
+    );
+    assert_eq!(fired(&diags), vec!["env-discipline"]);
 }
 
 #[test]

@@ -1,7 +1,12 @@
 //! Churn experiment binary: live membership (join / graceful leave /
 //! crash) under sustained load plus a flash-crowd capacity ramp.
 //!
-//! Usage: `churn [--scale F] [--seed S] [--out DIR]`
+//! Usage: `churn [--scale F] [--seed S] [--out DIR] [--trace PATH]`
+//!
+//! `--trace PATH` runs both scenarios with the flight recorder in
+//! full-export mode and writes the sustained scenario's events as a
+//! Perfetto-loadable Chrome trace. Tracing never changes the protocol's
+//! decisions — the tables are bit-for-bit identical either way.
 
 use clash_sim::experiments::churn;
 use clash_sim::report;
@@ -11,7 +16,12 @@ fn main() {
     let scale = report::scale_arg(&args);
     let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
-    let out = churn::run_seeded(scale, seed).expect("churn experiment failed");
+    let trace_path = report::trace_arg(&args);
+    let mode = report::trace_mode(trace_path.as_ref());
+    let out = churn::run_seeded_traced(scale, seed, mode).expect("churn experiment failed");
     println!("{}", churn::render(&out));
     churn::write_csvs(&out, &out_dir).expect("write churn csv");
+    if let Some(path) = trace_path {
+        report::write_trace(&path, &out.sustained.trace).expect("write chrome trace");
+    }
 }

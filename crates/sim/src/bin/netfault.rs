@@ -2,7 +2,10 @@
 //! models and ring sizes, retry overhead on lossy links, and a
 //! partition/heal scenario with a post-heal oracle sweep.
 //!
-//! Usage: `netfault [--scale F] [--seed S] [--out DIR]`
+//! Usage: `netfault [--scale F] [--seed S] [--out DIR] [--trace PATH]`
+//!
+//! `--trace PATH` records the partition/heal scenario's deferral and
+//! recovery timeline and writes it as a Perfetto-loadable Chrome trace.
 
 use clash_sim::experiments::netfault;
 use clash_sim::report;
@@ -12,8 +15,13 @@ fn main() {
     let scale = report::scale_arg(&args);
     let seed = report::seed_arg(&args);
     let out_dir = report::out_dir_arg(&args);
+    let trace_path = report::trace_arg(&args);
+    let mode = report::trace_mode(trace_path.as_ref());
     eprintln!("running netfault at scale {scale}...");
-    let out = netfault::run_seeded(scale, seed).expect("netfault experiment failed");
+    let out = netfault::run_seeded_traced(scale, seed, mode).expect("netfault experiment failed");
     println!("{}", netfault::render(&out));
     netfault::write_csvs(&out, &out_dir).expect("write netfault csvs");
+    if let Some(path) = trace_path {
+        report::write_trace(&path, &out.partition_trace).expect("write chrome trace");
+    }
 }

@@ -18,6 +18,7 @@ use clash_core::cluster::{ClashCluster, FailureReport, MessageStats};
 use clash_core::config::ClashConfig;
 use clash_core::error::ClashError;
 use clash_core::ServerId;
+use clash_obs::{PhaseProfile, Telemetry, WallProfiler};
 use clash_simkernel::dist::Exponential;
 use clash_simkernel::event::EventQueue;
 use clash_simkernel::metrics::Histogram;
@@ -178,6 +179,15 @@ pub struct RunResult {
     /// the checks. Wall time is inherently non-deterministic; it is
     /// excluded from [`RunResult::deterministic_fingerprint`].
     pub check_wall_ms: f64,
+    /// Worst single load check over the run, wall-clock milliseconds
+    /// (tail latency to `check_wall_ms`'s total). Non-deterministic;
+    /// excluded from the fingerprint.
+    pub max_check_ms: f64,
+    /// Where the check time went: per-[`clash_obs::CheckPhase`]
+    /// wall-clock milliseconds accumulated by the cluster's
+    /// [`WallProfiler`]. Non-deterministic; excluded from the
+    /// fingerprint.
+    pub phase_profile: PhaseProfile,
 }
 
 impl RunResult {
@@ -207,6 +217,43 @@ impl RunResult {
             self.recovery,
             self.load_checks,
         )
+    }
+
+    /// The run's metrics as one unified [`Telemetry`] registry: the
+    /// cluster's protocol counters/latencies under `cluster.*`, driver
+    /// aggregates (events, checks, recovery totals) under `driver.*`,
+    /// and the wall-clock phase profile under `driver.check_phase.*`.
+    #[must_use]
+    pub fn telemetry(&self, cluster: &ClashCluster) -> Telemetry {
+        let mut t = Telemetry::new();
+        t.counter("driver.events", self.events);
+        t.counter("driver.load_checks", self.load_checks);
+        t.counter("driver.splits", self.splits);
+        t.counter("driver.merges", self.merges);
+        t.counter("driver.joins", self.joins);
+        t.counter("driver.leaves", self.leaves);
+        t.counter("driver.crashes", self.crashes);
+        t.counter(
+            "driver.recovery.groups_recovered",
+            self.recovery.groups_recovered,
+        );
+        t.counter("driver.recovery.groups_lost", self.recovery.groups_lost);
+        t.counter(
+            "driver.recovery.groups_deferred",
+            self.recovery.groups_deferred,
+        );
+        t.counter("driver.recovery.sources_lost", self.recovery.sources_lost);
+        t.counter("driver.recovery.queries_lost", self.recovery.queries_lost);
+        t.gauge("driver.check_wall_ms", self.check_wall_ms);
+        t.gauge("driver.max_check_ms", self.max_check_ms);
+        for phase in clash_obs::CheckPhase::ALL {
+            t.gauge(
+                &format!("driver.check_phase.{}_ms", phase.name()),
+                self.phase_profile.get(phase),
+            );
+        }
+        t.absorb("cluster", &cluster.telemetry());
+        t
     }
 }
 
@@ -251,6 +298,7 @@ pub struct SimDriver {
     recovery: RecoveryTotals,
     load_checks: u64,
     check_wall_ms: f64,
+    max_check_ms: f64,
     label: String,
 }
 
@@ -305,8 +353,12 @@ impl SimDriver {
         config: ClashConfig,
         spec: ScenarioSpec,
         label: String,
-        cluster: ClashCluster,
+        mut cluster: ClashCluster,
     ) -> Result<Self, ClashError> {
+        // Always profile: the phase timers live outside the protocol's
+        // deterministic state, so they are free to stay on. (Tracing, by
+        // contrast, is opt-in via `cluster_mut().set_trace_sink`.)
+        cluster.set_profiler(Box::new(WallProfiler::default()));
         let rng = DetRng::new(spec.seed).substream("driver");
         let churn_rng = DetRng::new(spec.seed).substream("churn");
         let workloads = [
@@ -327,6 +379,7 @@ impl SimDriver {
             recovery: RecoveryTotals::default(),
             load_checks: 0,
             check_wall_ms: 0.0,
+            max_check_ms: 0.0,
             label,
         })
     }
@@ -411,6 +464,10 @@ impl SimDriver {
         let mut last_locate = self.cluster.latency_metrics().locate.clone();
 
         while let Some((at, ev)) = self.queue.pop_before(end) {
+            // Keep the cluster's trace clock on the event being
+            // dispatched, so every emitted TraceEvent carries the
+            // virtual time of the event that caused it.
+            self.cluster.set_now(at);
             match ev {
                 Ev::KeyChange { source } => {
                     if !self.cluster.has_source(source) {
@@ -442,7 +499,9 @@ impl SimDriver {
                     self.cluster.flush_batch()?;
                     let check_started = std::time::Instant::now();
                     let check = self.cluster.run_load_check()?;
-                    self.check_wall_ms += check_started.elapsed().as_secs_f64() * 1e3;
+                    let check_ms = check_started.elapsed().as_secs_f64() * 1e3;
+                    self.check_wall_ms += check_ms;
+                    self.max_check_ms = self.max_check_ms.max(check_ms);
                     self.load_checks += 1;
                     // A partition-deferred recovery resolves at some later
                     // load check; fold its outcome into the totals so the
@@ -539,6 +598,8 @@ impl SimDriver {
             recovery: self.recovery,
             load_checks: self.load_checks,
             check_wall_ms: self.check_wall_ms,
+            max_check_ms: self.max_check_ms,
+            phase_profile: self.cluster.phase_profile(),
         };
         Ok((result, self.cluster))
     }

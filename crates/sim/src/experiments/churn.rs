@@ -20,6 +20,7 @@ use clash_core::cluster::ClashCluster;
 use clash_core::config::ClashConfig;
 use clash_core::error::ClashError;
 use clash_keyspace::key::Key;
+use clash_obs::{TraceEvent, TraceMode};
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::SimDuration;
 use clash_transport::{LinkPolicy, LinkTransport};
@@ -53,6 +54,9 @@ pub struct ChurnRun {
     /// Whole-run locate latency percentiles `(p50, p95, p99)` in virtual
     /// ms, over the experiment's WAN transport.
     pub locate_ms: (f64, f64, f64),
+    /// Flight-recorder events collected from the run (empty when the
+    /// trace mode was [`TraceMode::Off`]).
+    pub trace: Vec<TraceEvent>,
 }
 
 /// The churn experiment's output.
@@ -90,13 +94,21 @@ pub(crate) fn oracle_sweep(cluster: &mut ClashCluster, n: u64, seed: u64) -> Ora
     }
 }
 
-fn run_one(config: ClashConfig, spec: ScenarioSpec, label: String) -> Result<ChurnRun, ClashError> {
+fn run_one(
+    config: ClashConfig,
+    spec: ScenarioSpec,
+    label: String,
+    trace: TraceMode,
+) -> Result<ChurnRun, ClashError> {
     // Churn runs ride a WAN transport so the latency-percentile columns
     // carry real numbers; the transport draws from its own substream, so
     // the protocol behaves exactly as it would over the instant one.
     let transport = Box::new(LinkTransport::new(LinkPolicy::wan(), spec.seed));
-    let (result, mut cluster) =
-        SimDriver::with_transport(config, spec, label, transport)?.run_with_cluster()?;
+    let mut driver = SimDriver::with_transport(config, spec, label, transport)?;
+    // The flight recorder is passive: any mode yields the same RunResult
+    // bit-for-bit (pinned by tests/trace_equivalence.rs).
+    driver.cluster_mut().set_trace_sink(trace.make_sink());
+    let (result, mut cluster) = driver.run_with_cluster()?;
     cluster.verify_consistency();
     let sweep = oracle_sweep(&mut cluster, 512, 0xC1A5_0C12);
     let locate = &cluster.latency_metrics().locate;
@@ -106,6 +118,7 @@ fn run_one(config: ClashConfig, spec: ScenarioSpec, label: String) -> Result<Chu
         sweep,
         final_servers: cluster.server_count(),
         locate_ms: (q(0.50), q(0.95), q(0.99)),
+        trace: cluster.take_trace_events(),
     })
 }
 
@@ -125,6 +138,21 @@ pub fn run(scale: f64) -> Result<ChurnOutput, ClashError> {
 ///
 /// Propagates scenario errors.
 pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<ChurnOutput, ClashError> {
+    run_seeded_traced(scale, seed, TraceMode::Off)
+}
+
+/// [`run_seeded`] with the flight recorder on: both scenarios run with a
+/// sink in `trace` mode and each [`ChurnRun`] carries its collected
+/// events (for `--trace <path>` Chrome export).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_seeded_traced(
+    scale: f64,
+    seed: Option<u64>,
+    trace: TraceMode,
+) -> Result<ChurnOutput, ClashError> {
     let mut base = ScenarioSpec::paper().scaled(scale);
     if let Some(seed) = seed {
         base.seed = seed;
@@ -146,6 +174,7 @@ pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<ChurnOutput, ClashErr
         ClashConfig::paper(),
         sustained_spec,
         "CLASH+churn".to_owned(),
+        trace,
     )?;
 
     // Flash crowd: one hot hour; +50% capacity joins back-to-back
@@ -162,7 +191,12 @@ pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<ChurnOutput, ClashErr
         (servers / 2).max(1),
         SimDuration::from_secs(30),
     ));
-    let flash = run_one(ClashConfig::paper(), flash_spec, "CLASH+flash".to_owned())?;
+    let flash = run_one(
+        ClashConfig::paper(),
+        flash_spec,
+        "CLASH+flash".to_owned(),
+        trace,
+    )?;
 
     Ok(ChurnOutput {
         sustained,

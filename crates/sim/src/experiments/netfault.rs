@@ -106,6 +106,11 @@ pub struct NetfaultOutput {
     pub loss: Vec<LossRow>,
     /// The partition/heal scenario.
     pub partition: PartitionReport,
+    /// Flight-recorder events from the partition/heal scenario (empty
+    /// unless the run was traced) — the deferral/recovery timeline is
+    /// this experiment's most opaque phase, so it is the one that gets
+    /// the recorder.
+    pub partition_trace: Vec<clash_obs::TraceEvent>,
     /// Scale factor applied to the paper populations.
     pub scale: f64,
 }
@@ -241,9 +246,16 @@ fn loss_sweep(scale: f64, seed: u64) -> Result<Vec<LossRow>, ClashError> {
 
 /// (c) Partition/heal: sever the fleet into two islands, measure the
 /// failure surface, heal, and verify the oracle re-agrees completely.
-fn partition_heal(scale: f64, seed: u64) -> Result<PartitionReport, ClashError> {
+fn partition_heal(
+    scale: f64,
+    seed: u64,
+    trace: clash_obs::TraceMode,
+) -> Result<(PartitionReport, Vec<clash_obs::TraceEvent>), ClashError> {
     let servers = ((1000.0 * scale) as usize).max(8);
     let mut cluster = heated_cluster(LinkPolicy::lan(), servers, seed ^ 0xFA17)?;
+    // Record from the partition onward: the heating phase is routine,
+    // the deferral/heal timeline is what the trace is for.
+    cluster.set_trace_sink(trace.make_sink());
     let ids = cluster.server_ids();
     let (left, right) = ids.split_at(ids.len() / 2);
     cluster.partition_network(&[left.to_vec(), right.to_vec()]);
@@ -274,14 +286,15 @@ fn partition_heal(scale: f64, seed: u64) -> Result<PartitionReport, ClashError> 
     }
     cluster.verify_consistency();
     let sweep = oracle_sweep(&mut cluster, 512, seed ^ 0x4EA1);
-    Ok(PartitionReport {
+    let report = PartitionReport {
         servers,
         attempted_during: attempts,
         unreachable_during: unreachable,
         ok_during: ok,
         transport_unreachable,
         sweep,
-    })
+    };
+    Ok((report, cluster.take_trace_events()))
 }
 
 /// Runs all three parts at the paper populations scaled by `scale`.
@@ -300,11 +313,28 @@ pub fn run(scale: f64) -> Result<NetfaultOutput, ClashError> {
 ///
 /// Propagates cluster and scenario errors.
 pub fn run_seeded(scale: f64, seed: Option<u64>) -> Result<NetfaultOutput, ClashError> {
+    run_seeded_traced(scale, seed, clash_obs::TraceMode::Off)
+}
+
+/// [`run_seeded`] with the flight recorder on for the partition/heal
+/// scenario (the other parts run untraced — their outputs are summary
+/// statistics, not timelines).
+///
+/// # Errors
+///
+/// Propagates cluster and scenario errors.
+pub fn run_seeded_traced(
+    scale: f64,
+    seed: Option<u64>,
+    trace: clash_obs::TraceMode,
+) -> Result<NetfaultOutput, ClashError> {
     let seed = seed.unwrap_or_else(default_seed);
+    let (partition, partition_trace) = partition_heal(scale, seed, trace)?;
     Ok(NetfaultOutput {
         latency: latency_cdfs(scale, seed)?,
         loss: loss_sweep(scale, seed)?,
-        partition: partition_heal(scale, seed)?,
+        partition,
+        partition_trace,
         scale,
     })
 }

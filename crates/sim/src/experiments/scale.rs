@@ -33,6 +33,7 @@ use std::time::Instant;
 use clash_core::cluster::ClashCluster;
 use clash_core::config::ClashConfig;
 use clash_core::error::ClashError;
+use clash_obs::{CheckPhase, PhaseProfile, WallProfiler};
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::SimDuration;
 use clash_transport::{LinkPolicy, LinkTransport};
@@ -89,6 +90,13 @@ pub struct ScaleCell {
     /// churn cells the driver measures this inside the event loop; for
     /// load-check cells it is timed directly.
     pub mean_check_ms: f64,
+    /// Worst single load check in the cell, wall-clock milliseconds —
+    /// the tail the mean hides (a split storm or recovery burst lands in
+    /// one check).
+    pub max_check_ms: f64,
+    /// Where the measured wall-clock went, per named phase of the check
+    /// and flush pipeline.
+    pub phase_ms: PhaseProfile,
     /// Splits performed.
     pub splits: u64,
     /// Merges performed.
@@ -222,6 +230,8 @@ fn churn_cell(
         // reporting 0.0 for every churn cell).
         load_checks: result.load_checks,
         mean_check_ms: result.check_wall_ms / result.load_checks.max(1) as f64,
+        max_check_ms: result.max_check_ms,
+        phase_ms: result.phase_profile,
         splits: result.splits,
         merges: result.merges,
         membership_events: result.joins + result.leaves + result.crashes,
@@ -251,6 +261,9 @@ fn loadcheck_cell(servers: usize, shards: u32, seed: u64) -> Result<ScaleCell, C
     for _ in 0..3 {
         cluster.run_load_check()?;
     }
+    // Attach the phase profiler only now, so the phase columns cover the
+    // measured section alone (the settle checks stay unprofiled).
+    cluster.set_profiler(Box::new(WallProfiler::default()));
 
     let t0 = Instant::now();
     let mut moves = 0u64;
@@ -258,6 +271,7 @@ fn loadcheck_cell(servers: usize, shards: u32, seed: u64) -> Result<ScaleCell, C
     // moves between checks keep realistic dirt flowing but their WAN
     // locate cost must not be attributed to the load-check hot path.
     let mut check_wall = std::time::Duration::ZERO;
+    let mut max_check = std::time::Duration::ZERO;
     for _ in 0..LOADCHECK_CHECKS {
         for _ in 0..LOADCHECK_MOVES_PER_CHECK {
             let source = rng.next_u64() % sources as u64;
@@ -272,7 +286,9 @@ fn loadcheck_cell(servers: usize, shards: u32, seed: u64) -> Result<ScaleCell, C
         cluster.flush_batch()?;
         let c0 = Instant::now();
         cluster.run_load_check()?;
-        check_wall += c0.elapsed();
+        let this_check = c0.elapsed();
+        check_wall += this_check;
+        max_check = max_check.max(this_check);
     }
     let wall = t0.elapsed();
     cluster.verify_consistency();
@@ -287,6 +303,8 @@ fn loadcheck_cell(servers: usize, shards: u32, seed: u64) -> Result<ScaleCell, C
         events_per_sec: (LOADCHECK_CHECKS + moves) as f64 / wall.as_secs_f64().max(1e-9),
         load_checks: LOADCHECK_CHECKS,
         mean_check_ms: check_wall.as_secs_f64() * 1e3 / LOADCHECK_CHECKS as f64,
+        max_check_ms: max_check.as_secs_f64() * 1e3,
+        phase_ms: cluster.phase_profile(),
         splits: stats.splits,
         merges: stats.merges,
         membership_events: 0,
@@ -355,6 +373,7 @@ pub fn render(out: &ScaleOutput) -> String {
                 report::f1(c.events_per_sec),
                 c.load_checks.to_string(),
                 format!("{:.3}", c.mean_check_ms),
+                format!("{:.3}", c.max_check_ms),
                 c.splits.to_string(),
                 c.merges.to_string(),
                 c.membership_events.to_string(),
@@ -372,6 +391,7 @@ pub fn render(out: &ScaleOutput) -> String {
             "events/s",
             "checks",
             "ms/check",
+            "max ms/check",
             "splits",
             "merges",
             "membership",
@@ -379,6 +399,30 @@ pub fn render(out: &ScaleOutput) -> String {
         ],
         &rows,
     ));
+    // Per-phase breakdown of where the check/flush wall-clock went: one
+    // line per cell, phases ≥ 1% of the cell's profiled total.
+    s.push_str("\nphase breakdown (share of profiled check+flush time):\n");
+    for c in &out.cells {
+        let total = c.phase_ms.total();
+        s.push_str(&format!("  {:<18} ", c.name));
+        if total <= 0.0 {
+            s.push_str("(nothing profiled)\n");
+            continue;
+        }
+        let mut first = true;
+        for phase in CheckPhase::ALL {
+            let share = c.phase_ms.share(phase);
+            if share < 0.01 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{} {:.0}%", phase.name(), share * 100.0));
+            first = false;
+        }
+        s.push('\n');
+    }
     s
 }
 
@@ -392,7 +436,7 @@ pub fn write_csvs(out: &ScaleOutput, dir: &str) -> std::io::Result<()> {
         .cells
         .iter()
         .map(|c| {
-            vec![
+            let mut row = vec![
                 c.name.clone(),
                 c.kind.name().to_owned(),
                 c.servers.to_string(),
@@ -402,32 +446,42 @@ pub fn write_csvs(out: &ScaleOutput, dir: &str) -> std::io::Result<()> {
                 format!("{:.1}", c.events_per_sec),
                 c.load_checks.to_string(),
                 format!("{:.4}", c.mean_check_ms),
+                format!("{:.4}", c.max_check_ms),
                 c.splits.to_string(),
                 c.merges.to_string(),
                 c.membership_events.to_string(),
                 format!("{:.2}", c.locate_p95_ms),
-            ]
+            ];
+            for phase in CheckPhase::ALL {
+                row.push(format!("{:.4}", c.phase_ms.get(phase)));
+            }
+            row
         })
         .collect();
-    report::write_csv(
-        format!("{dir}/scale.csv"),
-        &[
-            "cell",
-            "kind",
-            "servers",
-            "sources",
-            "events",
-            "wall_ms",
-            "events_per_sec",
-            "load_checks",
-            "mean_check_ms",
-            "splits",
-            "merges",
-            "membership_events",
-            "locate_p95_ms",
-        ],
-        &rows,
-    )
+    let mut header: Vec<String> = [
+        "cell",
+        "kind",
+        "servers",
+        "sources",
+        "events",
+        "wall_ms",
+        "events_per_sec",
+        "load_checks",
+        "mean_check_ms",
+        "max_check_ms",
+        "splits",
+        "merges",
+        "membership_events",
+        "locate_p95_ms",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    for phase in CheckPhase::ALL {
+        header.push(format!("phase_{}_ms", phase.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    report::write_csv(format!("{dir}/scale.csv"), &header_refs, &rows)
 }
 
 /// Serializes the sweep as the `BENCH_scale.json` trajectory format:
@@ -457,6 +511,14 @@ pub fn to_bench_json(out: &ScaleOutput) -> String {
         s.push_str(&format!("\"events_per_sec\": {:.1}, ", c.events_per_sec));
         s.push_str(&format!("\"load_checks\": {}, ", c.load_checks));
         s.push_str(&format!("\"mean_check_ms\": {:.4}, ", c.mean_check_ms));
+        s.push_str(&format!("\"max_check_ms\": {:.4}, ", c.max_check_ms));
+        for phase in CheckPhase::ALL {
+            s.push_str(&format!(
+                "\"phase_{}_ms\": {:.4}, ",
+                phase.name(),
+                c.phase_ms.get(phase)
+            ));
+        }
         s.push_str(&format!("\"splits\": {}, ", c.splits));
         s.push_str(&format!("\"merges\": {}, ", c.merges));
         s.push_str(&format!("\"membership_events\": {}, ", c.membership_events));
@@ -553,11 +615,31 @@ mod tests {
                 "{}: degenerate mean_check_ms",
                 c.name
             );
+            // The worst check bounds the mean from above; a cell whose
+            // max equals 0 while checks ran means the column regressed
+            // to a hardcoded value again.
+            assert!(
+                c.max_check_ms >= c.mean_check_ms && c.max_check_ms > 0.0,
+                "{}: degenerate max_check_ms {} (mean {})",
+                c.name,
+                c.max_check_ms,
+                c.mean_check_ms
+            );
+            assert!(
+                c.phase_ms.total() > 0.0,
+                "{}: phase profile recorded nothing",
+                c.name
+            );
         }
         let json = to_bench_json(&out);
         assert!(
             !json.contains("\"mean_check_ms\": 0.0000"),
             "trajectory must not regress to zeroed check timings"
         );
+        assert!(
+            !json.contains("\"max_check_ms\": 0.0000"),
+            "trajectory must not regress to zeroed max-check timings"
+        );
+        assert!(json.contains("\"phase_flush_route_ms\""));
     }
 }

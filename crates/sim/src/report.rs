@@ -195,6 +195,36 @@ pub fn out_dir_arg(args: &[String]) -> String {
     flag_value(args, "--out").unwrap_or_else(|| "results".to_owned())
 }
 
+/// Reads `--trace <path>`: when present, the experiment runs with the
+/// flight recorder in full-export mode and writes a Perfetto-loadable
+/// Chrome trace to the path afterwards.
+pub fn trace_arg(args: &[String]) -> Option<String> {
+    flag_value(args, "--trace")
+}
+
+/// The [`clash_obs::TraceMode`] a `--trace` flag implies: full export
+/// when the flag is present, off otherwise.
+#[must_use]
+pub fn trace_mode(trace_path: Option<&String>) -> clash_obs::TraceMode {
+    if trace_path.is_some() {
+        clash_obs::TraceMode::Full
+    } else {
+        clash_obs::TraceMode::Off
+    }
+}
+
+/// Writes `events` to `path` as a Chrome trace and reports where it
+/// went on stderr (experiment bins keep stdout for the tables).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace(path: &str, events: &[clash_obs::TraceEvent]) -> io::Result<()> {
+    clash_obs::write_chrome_trace(path, events)?;
+    eprintln!("wrote {} trace events to {path}", events.len());
+    Ok(())
+}
+
 /// Reads `--seed` as a root random seed (decimal or `0x`-prefixed hex).
 /// `None` means the experiment keeps its hard-coded default seed, so runs
 /// without the flag reproduce historical outputs exactly.

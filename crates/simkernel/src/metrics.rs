@@ -211,6 +211,35 @@ impl Summary {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// An owned, field-public copy of the current statistics, for
+    /// export into telemetry registries and reports without exposing
+    /// the Welford internals.
+    pub fn snapshot(&self) -> SummarySnapshot {
+        SummarySnapshot {
+            count: self.count,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// An exported point-in-time copy of a [`Summary`]: plain fields, no
+/// accumulator state, safe to diff and serialize.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SummarySnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean of observations (0 if empty).
+    pub mean: f64,
+    /// Population standard deviation (0 if fewer than two observations).
+    pub stddev: f64,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
 }
 
 /// A histogram with fixed-width buckets over `[lo, hi)` plus overflow and
@@ -525,6 +554,20 @@ mod tests {
         assert_eq!(left.count(), whole.count());
         assert!((left.mean() - whole.mean()).abs() < 1e-9);
         assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_snapshot_copies_fields() {
+        let mut s = Summary::new();
+        for x in [1.0, 3.0] {
+            s.observe(x);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!((snap.mean - 2.0).abs() < 1e-12);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, 3.0);
+        assert_eq!(Summary::new().snapshot(), SummarySnapshot::default());
     }
 
     #[test]
