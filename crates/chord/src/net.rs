@@ -56,6 +56,13 @@ pub struct SimNet {
     nodes: BTreeMap<u64, ChordNode>,
     succ_list_len: usize,
     stats: NetStats,
+    /// Worker threads the ground-truth stabilization paths
+    /// ([`SimNet::build_stable`], [`SimNet::stabilize_direct`]) may
+    /// partition their per-node table computation over. The computed
+    /// tables are a pure function of the alive-id vector, so the result
+    /// is bit-for-bit identical for every value; 1 (the default) stays
+    /// inline.
+    stabilize_workers: usize,
     /// Memoized first *alive* successor per node. Routing consults this
     /// once per hop of every lookup; between membership/maintenance
     /// events successor lists and liveness are static, so the walk down
@@ -83,6 +90,7 @@ impl SimNet {
             nodes: BTreeMap::new(),
             succ_list_len: 8,
             stats: NetStats::default(),
+            stabilize_workers: 1,
             succ_cache: RefCell::new(BTreeMap::new()),
             alive_cache: RefCell::new(None),
         }
@@ -104,6 +112,13 @@ impl SimNet {
     pub fn set_successor_list_len(&mut self, len: usize) {
         assert!(len > 0, "successor list length must be positive");
         self.succ_list_len = len;
+    }
+
+    /// Sets the worker count for the partitioned ground-truth
+    /// stabilization paths (see the field doc). Purely an execution
+    /// hint: every value computes identical tables.
+    pub fn set_stabilize_workers(&mut self, workers: usize) {
+        self.stabilize_workers = workers.max(1);
     }
 
     /// Creates a ring with `n` distinct random node identifiers (not yet
@@ -204,32 +219,96 @@ impl SimNet {
 
     /// Installs exact routing state on every alive node: perfect fingers,
     /// successor lists and predecessors. Equivalent to running the
-    /// maintenance protocol to convergence, in O(S·M) time.
+    /// maintenance protocol to convergence, in O(S·M·log S) time.
     pub fn build_stable(&mut self) {
         let ids: Vec<ChordId> = self.node_ids();
         if ids.is_empty() {
             return;
         }
-        let m = self.space.bits() as usize;
         let r = self.succ_list_len.min(ids.len());
-        // Precompute ring order once.
-        for (pos, &id) in ids.iter().enumerate() {
-            let succ_list: Vec<ChordId> = (1..=r).map(|k| ids[(pos + k) % ids.len()]).collect();
-            let succ_list = if succ_list.is_empty() {
-                vec![id]
+        self.install_tables(&ids, r);
+    }
+
+    /// Owner of `h` among the sorted alive ids — binary search plus
+    /// wrap-around. Identical to [`SimNet::owner_of`] whenever `ids`
+    /// holds exactly the alive nodes in ring order (the stabilization
+    /// paths' precondition), without the per-query tree walk over dead
+    /// nodes' corpses.
+    fn owner_in(ids: &[ChordId], h: u64) -> ChordId {
+        let i = ids.partition_point(|id| id.value() < h);
+        ids[if i == ids.len() { 0 } else { i }]
+    }
+
+    /// The ground-truth routing tables of the node at ring position
+    /// `pos`: successor list of length `r` (`[self]` on a one-node
+    /// ring), predecessor, and all `m` fingers. A pure function of the
+    /// sorted alive-id slice — which is what lets
+    /// [`SimNet::install_tables`] partition the computation over worker
+    /// threads without any risk to determinism.
+    fn tables_for(
+        ids: &[ChordId],
+        pos: usize,
+        r: usize,
+        m: usize,
+    ) -> (Vec<ChordId>, Option<ChordId>, Vec<ChordId>) {
+        let n = ids.len();
+        let id = ids[pos];
+        let succ_list: Vec<ChordId> = if n == 1 {
+            vec![id]
+        } else {
+            (1..=r).map(|k| ids[(pos + k) % n]).collect()
+        };
+        let pred = (n > 1).then(|| ids[(pos + n - 1) % n]);
+        let fingers = (0..m)
+            .map(|k| Self::owner_in(ids, id.add_power_of_two(k as u32).value()))
+            .collect();
+        (succ_list, pred, fingers)
+    }
+
+    /// Computes every alive node's ground-truth tables — partitioned
+    /// over `stabilize_workers` contiguous ring chunks when the ring is
+    /// big enough to pay for the threads — then installs them in ring
+    /// order. Bit-for-bit identical for every worker count: the chunks
+    /// are disjoint, the computation is pure, and installation happens
+    /// on one thread in one order.
+    fn install_tables(&mut self, ids: &[ChordId], r: usize) {
+        const PAR_STABILIZE_MIN: usize = 1024;
+        let m = self.space.bits() as usize;
+        let workers = self.stabilize_workers;
+        let compute_range = |lo: usize, hi: usize| {
+            (lo..hi)
+                .map(|pos| Self::tables_for(ids, pos, r, m))
+                .collect()
+        };
+        let all: Vec<(Vec<ChordId>, Option<ChordId>, Vec<ChordId>)> =
+            if workers > 1 && ids.len() >= PAR_STABILIZE_MIN {
+                let chunk = ids.len().div_ceil(workers);
+                let mut out = Vec::with_capacity(ids.len());
+                std::thread::scope(|scope| {
+                    let compute = &compute_range;
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let lo = (w * chunk).min(ids.len());
+                            let hi = ((w + 1) * chunk).min(ids.len());
+                            scope.spawn(move || compute(lo, hi))
+                        })
+                        .collect();
+                    for h in handles {
+                        let part: Vec<_> = h.join().expect("stabilize worker panicked");
+                        out.extend(part);
+                    }
+                });
+                out
             } else {
-                succ_list
+                compute_range(0, ids.len())
             };
-            let pred = ids[(pos + ids.len() - 1) % ids.len()];
-            let mut fingers = Vec::with_capacity(m);
-            for k in 0..m {
-                let target = id.add_power_of_two(k as u32);
-                let owner = self.owner_of(target.value()).expect("ring has alive nodes");
-                fingers.push(owner);
-            }
-            let node = self.nodes.get_mut(&id.value()).expect("id from node_ids");
+        for (pos, (succ_list, pred, fingers)) in all.into_iter().enumerate() {
+            let node = self
+                .nodes
+                .get_mut(&ids[pos].value())
+                .expect("id from node_ids");
             node.set_successor_list(succ_list);
-            node.set_predecessor(if ids.len() > 1 { Some(pred) } else { None });
+            node.set_predecessor(pred);
             for (k, f) in fingers.into_iter().enumerate() {
                 node.set_finger(k, f);
             }
@@ -636,30 +715,8 @@ impl SimNet {
         if ids.is_empty() {
             return 1;
         }
-        let m = self.space.bits() as usize;
-        let n = ids.len();
-        let r = self.succ_list_len.min(n - 1);
-        for (pos, &id) in ids.iter().enumerate() {
-            let succ_list: Vec<ChordId> = if n == 1 {
-                vec![id]
-            } else {
-                (1..=r).map(|k| ids[(pos + k) % n]).collect()
-            };
-            let pred = (n > 1).then(|| ids[(pos + n - 1) % n]);
-            let mut fingers = Vec::with_capacity(m);
-            for k in 0..m {
-                let target = id.add_power_of_two(k as u32);
-                let owner = self.owner_of(target.value()).expect("ring has alive nodes");
-                fingers.push(owner);
-            }
-            let node = self.nodes.get_mut(&id.value()).expect("id from node_ids");
-            node.set_successor_list(succ_list);
-            node.set_predecessor(pred);
-            for (k, f) in fingers.into_iter().enumerate() {
-                node.set_finger(k, f);
-            }
-        }
-        self.invalidate_succ_cache();
+        let r = self.succ_list_len.min(ids.len() - 1);
+        self.install_tables(&ids, r);
         1
     }
 
@@ -1188,6 +1245,34 @@ mod tests {
         // Dead nodes keep stale state in both worlds.
         for &id in ids.iter().take(20) {
             assert!(proto.node(id).is_some() && direct.node(id).is_some());
+        }
+    }
+
+    /// The partitioned stabilization paths are a pure execution choice:
+    /// every worker count must install bit-identical routing state, on
+    /// rings both above and below the parallel threshold, with corpses
+    /// present.
+    #[test]
+    fn partitioned_stabilize_matches_sequential() {
+        for workers in [2usize, 3, 8] {
+            let mut seq = stable_net(1500, 77);
+            let mut par = stable_net(1500, 77);
+            par.set_stabilize_workers(workers);
+            // Exercise both entry points: a rebuild from scratch and a
+            // post-membership stabilization with failures behind.
+            par.build_stable();
+            seq.build_stable();
+            let ids = seq.node_ids();
+            for &victim in ids.iter().step_by(97).take(5) {
+                seq.fail(victim);
+                par.fail(victim);
+            }
+            let joiner = ChordId::new(0x1234_5678, space());
+            seq.join(joiner, ids[1]);
+            par.join(joiner, ids[1]);
+            seq.stabilize_direct();
+            par.stabilize_direct();
+            assert_same_routing_state(&seq, &par, &format!("workers={workers}"));
         }
     }
 

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use clash_chord::id::ChordId;
-use clash_chord::net::SimNet;
+use clash_chord::net::{LookupResult, SimNet};
 use clash_chord::snapshot::RouteSnapshot;
 use clash_keyspace::cover::{PrefixCover, PrefixMap};
 use clash_keyspace::hash::{KeyHasher, SplitMixHasher};
@@ -40,7 +40,9 @@ use clash_obs::{
 use clash_simkernel::merge::MergeQueue;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::{SimDuration, SimTime};
-use clash_transport::{Delivery, InstantTransport, MessageClass, Transport, TransportStats};
+use clash_transport::{
+    Delivery, InstantTransport, MessageClass, SendSpec, Transport, TransportStats,
+};
 
 use crate::arena::ServerArena;
 use crate::client::{DepthSearch, SearchOutcome};
@@ -51,6 +53,7 @@ use crate::load::{GroupLoad, LoadLevel};
 use crate::messages::ReleaseResponse;
 use crate::replication::ReplicaRecord;
 use crate::server::ClashServer;
+use crate::shardset::ArcShardedSet;
 use crate::table::TableEntry;
 use crate::ServerId;
 
@@ -371,6 +374,11 @@ struct RoutedProbe {
     path: Vec<(ChordId, ChordId)>,
 }
 
+/// A speculated first-split placement: the right child's target hash
+/// plus the pre-routed lookup and routing path it resolved to (see
+/// `ClashCluster::split_route_cache`).
+type SpeculatedRoute = (u64, LookupResult, Vec<(ServerId, ServerId)>);
+
 /// An in-process CLASH cluster (see the module docs).
 pub struct ClashCluster {
     config: ClashConfig,
@@ -419,15 +427,18 @@ pub struct ClashCluster {
     // asserts exactly that in debug builds, and a differential proptest
     // pins it against the full-scan reference mode.
     /// Servers whose load/table state changed since their last
-    /// classification.
-    dirty_servers: BTreeSet<u64>,
+    /// classification. Sharded by ring arc: each arc owns its slice, so
+    /// per-arc phases hand worker threads disjoint id sets; iteration
+    /// stays globally ascending (the arc function is monotone), so every
+    /// walk matches the unsharded `BTreeSet` bit-for-bit.
+    dirty_servers: ArcShardedSet,
     /// Servers currently classified overloaded (split candidates).
-    overloaded: BTreeSet<u64>,
+    overloaded: ArcShardedSet,
     /// Servers currently underloaded *and* holding at least one split
     /// (inactive) entry — the only servers that can possibly merge.
-    mergeable: BTreeSet<u64>,
+    mergeable: ArcShardedSet,
     /// Servers owing at least one load report.
-    reporters: BTreeSet<u64>,
+    reporters: ArcShardedSet,
     /// Groups whose replica placement needs (re-)ensuring: payload
     /// under-replicated after a partition skip, or holders dropped by a
     /// failed write-through. Steady-state groups whose placement is
@@ -482,6 +493,15 @@ pub struct ClashCluster {
     /// Frozen routing state for the current batch window; dropped by
     /// every ring-membership mutation, rebuilt lazily at the next flush.
     route_snapshot: Option<Arc<RouteSnapshot>>,
+    /// Speculative first-split placements, keyed by splitter id: the
+    /// right child's target hash plus its pre-routed lookup and path,
+    /// resolved per ring arc on scope workers against the frozen
+    /// snapshot at the start of the split phase. `try_split` consults
+    /// this once per candidate and falls back to live routing whenever
+    /// the candidate's hottest group changed since speculation (the
+    /// stored hash no longer matches) — so a hit is, provably, the
+    /// exact route the live call would have produced.
+    split_route_cache: BTreeMap<u64, SpeculatedRoute>,
     /// Debug builds: how many route phases passed the zero-cluster-RNG-draw
     /// cross-check (the runtime mirror of the clash-lint static rules).
     #[cfg(debug_assertions)]
@@ -539,9 +559,13 @@ impl ClashCluster {
         config: ClashConfig,
         n_servers: usize,
         seed: u64,
-        transport: Box<dyn Transport>,
+        mut transport: Box<dyn Transport>,
     ) -> Result<Self, ClashError> {
         config.validate()?;
+        // The transport's batch path may fan out over this many workers;
+        // its contract pins the result bit-for-bit to the worker count 1
+        // case, so this is purely an execution hint.
+        transport.set_batch_workers(config.shards.max(1) as usize);
         if n_servers == 0 {
             return Err(ClashError::InvalidConfig {
                 reason: "cluster needs at least one server",
@@ -550,9 +574,15 @@ impl ClashCluster {
         let root_rng = DetRng::new(seed);
         let mut ring_rng = root_rng.substream("ring");
         let mut net = SimNet::with_random_nodes(config.hash_space, n_servers, &mut ring_rng);
+        // Ground-truth stabilization may partition its table computation
+        // over the shard workers — like the batch hint above, results
+        // are identical for every value.
+        net.set_stabilize_workers(config.shards.max(1) as usize);
         net.build_stable();
         let mut servers = ServerArena::new();
-        let mut dirty_servers = BTreeSet::new();
+        let arc_count = config.shards.max(1) as usize;
+        let bits = config.hash_space.bits();
+        let mut dirty_servers = ArcShardedSet::new(arc_count, bits);
         for id in net.node_ids() {
             servers.insert(ClashServer::new(id, config));
             dirty_servers.insert(id.value());
@@ -577,9 +607,9 @@ impl ClashCluster {
             recovery_active: Cell::new(false),
             oracle_reads_in_recovery: Cell::new(0),
             dirty_servers,
-            overloaded: BTreeSet::new(),
-            mergeable: BTreeSet::new(),
-            reporters: BTreeSet::new(),
+            overloaded: ArcShardedSet::new(arc_count, bits),
+            mergeable: ArcShardedSet::new(arc_count, bits),
+            reporters: ArcShardedSet::new(arc_count, bits),
             replica_dirty: BTreeSet::new(),
             replica_full_sync: false,
             full_scan_checks: false,
@@ -591,6 +621,7 @@ impl ClashCluster {
             batch_touched: BTreeSet::new(),
             flush_seq: 0,
             route_snapshot: None,
+            split_route_cache: BTreeMap::new(),
             #[cfg(debug_assertions)]
             route_draw_checks: 0,
             trace: Box::new(NullSink),
@@ -668,10 +699,10 @@ impl ClashCluster {
 
     /// Drops a departed server from every candidate index.
     fn forget_server(&mut self, sid_value: u64) {
-        self.dirty_servers.remove(&sid_value);
-        self.overloaded.remove(&sid_value);
-        self.mergeable.remove(&sid_value);
-        self.reporters.remove(&sid_value);
+        self.dirty_servers.remove(sid_value);
+        self.overloaded.remove(sid_value);
+        self.mergeable.remove(sid_value);
+        self.reporters.remove(sid_value);
     }
 
     /// Marks every live server dirty (construction, membership sweeps,
@@ -688,36 +719,93 @@ impl ClashCluster {
     /// identical to the pre-optimization code) plus the cheap structural
     /// predicates for merge-ability and report-owing.
     fn refresh_candidates(&mut self) {
+        // Below this many dirty servers the classification runs inline:
+        // thread spawn costs more than classifying a near-empty set (the
+        // steady-state checks reclassify a handful of servers).
+        const PAR_REFRESH_MIN: usize = 512;
         if self.dirty_servers.is_empty() {
             return;
         }
-        let dirty = std::mem::take(&mut self.dirty_servers);
-        for sid in &dirty {
-            let sid = *sid;
-            let Some(server) = self.servers.get(sid) else {
-                self.overloaded.remove(&sid);
-                self.mergeable.remove(&sid);
-                self.reporters.remove(&sid);
-                continue;
-            };
-            let level = server.load_level();
-            let can_merge = level == LoadLevel::Underloaded && server.table().has_split_entries();
-            let owes = server.owes_reports();
-            if level == LoadLevel::Overloaded {
-                self.overloaded.insert(sid);
-            } else {
-                self.overloaded.remove(&sid);
+        let n_shards = self.config.shards.max(1) as usize;
+        if n_shards > 1 && self.dirty_servers.len() >= PAR_REFRESH_MIN {
+            self.refresh_candidates_sharded();
+            return;
+        }
+        let dirty = self.dirty_servers.take_all();
+        for sid in dirty {
+            let verdict = Self::classify(self.servers.get(sid));
+            self.apply_classification(sid, verdict);
+        }
+    }
+
+    /// The pure per-server classification the candidate indices are
+    /// maintained by — exactly the predicates the historical full sweep
+    /// applied ([`ClashServer::load_level`] recomputed from scratch, so
+    /// float summation order and every threshold comparison match the
+    /// pre-optimization code). `None` = departed server.
+    fn classify(server: Option<&ClashServer>) -> Option<(bool, bool, bool)> {
+        server.map(|s| {
+            let level = s.load_level();
+            (
+                level == LoadLevel::Overloaded,
+                level == LoadLevel::Underloaded && s.table().has_split_entries(),
+                s.owes_reports(),
+            )
+        })
+    }
+
+    /// Folds one classification verdict into the candidate indices.
+    fn apply_classification(&mut self, sid: u64, verdict: Option<(bool, bool, bool)>) {
+        let (over, merge, owes) = verdict.unwrap_or((false, false, false));
+        if over {
+            self.overloaded.insert(sid);
+        } else {
+            self.overloaded.remove(sid);
+        }
+        if merge {
+            self.mergeable.insert(sid);
+        } else {
+            self.mergeable.remove(sid);
+        }
+        if owes {
+            self.reporters.insert(sid);
+        } else {
+            self.reporters.remove(sid);
+        }
+    }
+
+    /// The arc-sharded [`ClashCluster::refresh_candidates`]: each worker
+    /// classifies its own arc's dirty servers against the shared arena
+    /// (pure reads), the verdicts funnel through the deterministic
+    /// [`MergeQueue`] keyed by server id, and the fold applies them on
+    /// one thread. Classification is a pure per-server function and the
+    /// index updates for distinct ids commute, so the result is
+    /// bit-for-bit the sequential path's for every shard count — pinned
+    /// by `tests/shard_equivalence.rs` and the candidate-index debug
+    /// verifier.
+    fn refresh_candidates_sharded(&mut self) {
+        let dirty_arcs = self.dirty_servers.take_arcs();
+        let servers = &self.servers;
+        let mut queue: MergeQueue<u64, Option<(bool, bool, bool)>> =
+            MergeQueue::new(dirty_arcs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dirty_arcs
+                .iter()
+                .map(|arc_ids| {
+                    scope.spawn(move || {
+                        arc_ids
+                            .iter()
+                            .map(|&sid| (sid, Self::classify(servers.get(sid))))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (arc, handle) in handles.into_iter().enumerate() {
+                *queue.lane_mut(arc) = handle.join().expect("classify worker panicked");
             }
-            if can_merge {
-                self.mergeable.insert(sid);
-            } else {
-                self.mergeable.remove(&sid);
-            }
-            if owes {
-                self.reporters.insert(sid);
-            } else {
-                self.reporters.remove(&sid);
-            }
+        });
+        for (sid, verdict) in queue.drain() {
+            self.apply_classification(sid, verdict);
         }
     }
 
@@ -733,35 +821,35 @@ impl ClashCluster {
     pub fn verify_candidate_indices(&self) {
         for server in self.servers.iter() {
             let sid = server.id().value();
-            if self.dirty_servers.contains(&sid) {
+            if self.dirty_servers.contains(sid) {
                 continue;
             }
             let level = server.load_level();
             assert_eq!(
-                self.overloaded.contains(&sid),
+                self.overloaded.contains(sid),
                 level == LoadLevel::Overloaded,
                 "stale overloaded-index entry for {sid:#x}"
             );
             let can_merge = level == LoadLevel::Underloaded && server.table().has_split_entries();
             assert_eq!(
-                self.mergeable.contains(&sid),
+                self.mergeable.contains(sid),
                 can_merge,
                 "stale mergeable-index entry for {sid:#x}"
             );
             assert_eq!(
-                self.reporters.contains(&sid),
+                self.reporters.contains(sid),
                 server.owes_reports(),
                 "stale reporter-index entry for {sid:#x}"
             );
         }
-        for &sid in self
+        for sid in self
             .overloaded
             .iter()
             .chain(self.mergeable.iter())
             .chain(self.reporters.iter())
         {
             assert!(
-                self.servers.contains(sid) || self.dirty_servers.contains(&sid),
+                self.servers.contains(sid) || self.dirty_servers.contains(sid),
                 "candidate index names departed server {sid:#x}"
             );
         }
@@ -906,8 +994,12 @@ impl ClashCluster {
     /// stderr so the panic message comes with the decisions that led
     /// there. No-op when tracing is off or nothing is buffered.
     fn dump_trace_tail(&self) {
+        // Ask for at most what the sink can actually hold: a ring
+        // smaller than the default window used to make the header's
+        // "last N" claim overstate the available history.
         const TAIL: usize = 64;
-        let tail = self.trace.tail(TAIL);
+        let want = self.trace.capacity().map_or(TAIL, |cap| cap.min(TAIL));
+        let tail = self.trace.tail(want);
         if tail.is_empty() {
             return;
         }
@@ -1101,6 +1193,13 @@ impl ClashCluster {
             cover.insert(p).expect("global index must be prefix-free");
         }
         cover
+    }
+
+    /// The server currently homing `group`, if it is an active group of
+    /// the global index. Diagnostic/test accessor — the protocol itself
+    /// resolves owners through the DHT, never through this map.
+    pub fn group_owner(&self, group: Prefix) -> Option<ServerId> {
+        self.global_index.get(group).copied()
     }
 
     /// Global depth statistics `(min, mean, max)` over active groups.
@@ -1405,24 +1504,67 @@ impl ClashCluster {
         }
         self.phase_end(CheckPhase::FlushRoute);
         self.phase_begin(CheckPhase::FlushMerge);
-        // Charge phase: drain in global plan order and replay exactly
-        // the accounting the sequential path interleaves per op — hop
-        // stats, per-link transport draws, probe counters, and the
-        // locate latency observation at each op's final probe.
-        let mut op_latency = SimDuration::ZERO;
-        let mut op_hop = 0_u32;
-        for (_, routed) in queue.drain() {
+        // Charge phase, pass 1: lay out every transport message of the
+        // flush in global plan order — each probe's routing hops, then
+        // its owner→start response — and resolve the whole sequence in
+        // one [`Transport::send_batch`]. The batch contract guarantees
+        // the same deliveries, stats, and per-link draw order as the
+        // equivalent `send` loop; pre-resolving ahead of the accounting
+        // replay is safe because a flush only ever runs on a connected
+        // transport (see `partition_network` / `heal_partition`), so
+        // the sequential loop could never have aborted mid-probe and
+        // skipped later sends.
+        let routed: Vec<RoutedProbe> = queue.drain().into_iter().map(|(_, r)| r).collect();
+        let mut send_specs: Vec<SendSpec> = Vec::with_capacity(routed.len() * 2);
+        for r in &routed {
             debug_assert_eq!(
-                routed.owner, routed.plan.owner,
+                r.owner, r.plan.owner,
                 "batch window spanned a ring change: routed owner diverged from plan"
             );
+            for &(from, to) in &r.path {
+                send_specs.push(SendSpec {
+                    src: from.value(),
+                    dst: to.value(),
+                    class: MessageClass::Probe,
+                });
+            }
+            send_specs.push(SendSpec {
+                src: r.owner.value(),
+                dst: r.plan.start.value(),
+                class: MessageClass::ProbeResponse,
+            });
+        }
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        self.transport.send_batch(&send_specs, &mut deliveries);
+        // Pass 2: replay the per-op accounting over the resolved
+        // deliveries in the same plan order — hop stats, probe
+        // counters, and the locate latency observation at each op's
+        // final probe. Unreachable deliveries surface the same error at
+        // the same position the sequential loop would have raised it.
+        let mut op_latency = SimDuration::ZERO;
+        let mut op_hop = 0_u32;
+        let mut cursor = 0usize;
+        for routed in routed {
             self.net.record_routed_lookup(routed.hops);
-            self.charge_probe_route(
-                routed.plan.start,
-                routed.owner,
-                routed.path,
-                &mut op_latency,
-            )?;
+            for &(from, to) in &routed.path {
+                match deliveries[cursor] {
+                    Delivery::Delivered { latency, .. } => op_latency += latency,
+                    Delivery::Unreachable { .. } => {
+                        return Err(ClashError::NetworkUnreachable { from, to });
+                    }
+                }
+                cursor += 1;
+            }
+            match deliveries[cursor] {
+                Delivery::Delivered { latency, .. } => op_latency += latency,
+                Delivery::Unreachable { .. } => {
+                    return Err(ClashError::NetworkUnreachable {
+                        from: routed.owner,
+                        to: routed.plan.start,
+                    });
+                }
+            }
+            cursor += 1;
             self.msgs.probes += 1;
             self.msgs.probe_messages += u64::from(routed.hops) + 1;
             op_hop += 1;
@@ -1442,6 +1584,11 @@ impl ClashCluster {
                 op_hop = 0;
             }
         }
+        debug_assert_eq!(
+            cursor,
+            deliveries.len(),
+            "charge replay must consume every delivery"
+        );
         self.phase_end(CheckPhase::FlushMerge);
         if self.trace_on {
             self.emit(TraceEventKind::FlushEnd {
@@ -1961,13 +2108,53 @@ impl ClashCluster {
                 .replica_store_mut()
                 .expire_held(|group, owner| pending.contains(&group) || net.is_alive(owner));
         }
-        // Re-ensure placement for every active group, owner by owner.
-        let mut work: Vec<(Prefix, ServerId)> = Vec::new();
-        for &sid in &ids {
-            let server = self.servers.get(sid).expect("snapshotted id");
-            let owner = server.id();
-            work.extend(server.table().active_groups().map(|e| (e.group, owner)));
-        }
+        // Re-ensure placement for every active group, owner by owner. The
+        // work-list collection is a pure read of per-server tables, so at
+        // scale it fans out per ring arc onto scope workers; each lane
+        // funnels back through the MergeQueue keyed by server id, which
+        // reproduces the sequential ascending-id, per-server push order
+        // exactly (the arc function is monotone and per-lane sorting is
+        // stable). The `ensure_replicas` apply stays on this thread.
+        const PAR_SWEEP_MIN: usize = 512;
+        let n_shards = self.config.shards.max(1) as usize;
+        let work: Vec<(Prefix, ServerId)> = if n_shards > 1 && ids.len() >= PAR_SWEEP_MIN {
+            let servers = &self.servers;
+            let arcs = servers.arc_ids(n_shards, self.config.hash_space.bits());
+            let mut queue: MergeQueue<u64, (Prefix, ServerId)> = MergeQueue::new(n_shards);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = arcs
+                    .iter()
+                    .map(|arc| {
+                        scope.spawn(move || {
+                            let mut lane: Vec<(u64, (Prefix, ServerId))> = Vec::new();
+                            for &sid in arc {
+                                let server = servers.get(sid).expect("arc ids are live");
+                                let owner = server.id();
+                                lane.extend(
+                                    server
+                                        .table()
+                                        .active_groups()
+                                        .map(|e| (sid, (e.group, owner))),
+                                );
+                            }
+                            lane
+                        })
+                    })
+                    .collect();
+                for (arc, handle) in handles.into_iter().enumerate() {
+                    *queue.lane_mut(arc) = handle.join().expect("replica sweep worker panicked");
+                }
+            });
+            queue.drain().into_iter().map(|(_, w)| w).collect()
+        } else {
+            let mut work = Vec::new();
+            for &sid in &ids {
+                let server = self.servers.get(sid).expect("snapshotted id");
+                let owner = server.id();
+                work.extend(server.table().active_groups().map(|e| (e.group, owner)));
+            }
+            work
+        };
         self.ids_scratch = ids;
         for (group, owner) in work {
             self.ensure_replicas(group, owner);
@@ -2026,6 +2213,10 @@ impl ClashCluster {
         self.phase_begin(CheckPhase::Reports);
         self.deliver_load_reports();
         self.phase_end(CheckPhase::Reports);
+        self.phase_begin(CheckPhase::SplitSpeculate);
+        self.refresh_candidates();
+        self.speculate_split_routes();
+        self.phase_end(CheckPhase::SplitSpeculate);
         self.phase_begin(CheckPhase::Splits);
         // Split phase. The historical sweep walked every server in
         // ascending id order, splitting while overloaded; walking the
@@ -2036,7 +2227,7 @@ impl ClashCluster {
         let mut cursor = 0u64;
         loop {
             self.refresh_candidates();
-            let Some(&sid_value) = self.overloaded.range(cursor..).next() else {
+            let Some(sid_value) = self.overloaded.first_at_or_after(cursor) else {
                 break;
             };
             let mut splits_done = 0;
@@ -2058,6 +2249,10 @@ impl ClashCluster {
             };
             cursor = next;
         }
+        // Stale speculations for candidates that recovered (or whose
+        // hottest group moved) before their turn must not leak into the
+        // next check's snapshot window.
+        self.split_route_cache.clear();
         self.phase_end(CheckPhase::Splits);
         self.phase_begin(CheckPhase::Merges);
         // Merge phase, same cursor discipline over the mergeable set
@@ -2066,7 +2261,7 @@ impl ClashCluster {
         let mut cursor = 0u64;
         loop {
             self.refresh_candidates();
-            let Some(&sid_value) = self.mergeable.range(cursor..).next() else {
+            let Some(sid_value) = self.mergeable.first_at_or_after(cursor) else {
                 break;
             };
             let mut merges_done = 0;
@@ -2117,7 +2312,7 @@ impl ClashCluster {
         // sweep. The scratch batch is reused across periods.
         let mut deliveries = std::mem::take(&mut self.deliver_scratch);
         deliveries.clear();
-        for &sid_value in &self.reporters {
+        for sid_value in self.reporters.iter() {
             let server = self.servers.get(sid_value).expect("reporters are live");
             let own_id = server.id();
             server.for_each_pending_report(|dest, group, load, is_leaf| {
@@ -2140,6 +2335,74 @@ impl ClashCluster {
             }
         }
         self.deliver_scratch = deliveries;
+    }
+
+    /// Pre-routes the *first* split placement of every overloaded
+    /// candidate, per ring arc on scope workers, against the frozen
+    /// route snapshot. Runs once at the start of the split phase, after
+    /// the opening candidate refresh: routing state cannot change inside
+    /// a load check (ring membership only moves between checks), so the
+    /// snapshot stays valid for the whole phase, and
+    /// [`RouteSnapshot::route_with_path`] is pinned bit-for-bit to the
+    /// live router. Reading the per-arc slices of the overloaded set
+    /// keeps each worker on exactly its own arc's servers; results
+    /// funnel back through the [`MergeQueue`] keyed by splitter id.
+    ///
+    /// Purely an execution-strategy move: `try_split` verifies every
+    /// cached entry against the hash it would have routed (and replays
+    /// the lookup accounting), so a consumed speculation is
+    /// indistinguishable from the live call it replaces.
+    fn speculate_split_routes(&mut self) {
+        const PAR_SPECULATE_MIN: usize = 64;
+        self.split_route_cache.clear();
+        let n_shards = self.config.shards.max(1) as usize;
+        if n_shards <= 1 || self.overloaded.len() < PAR_SPECULATE_MIN {
+            return;
+        }
+        let snapshot = match &self.route_snapshot {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Arc::new(self.net.snapshot());
+                self.route_snapshot = Some(Arc::clone(&s));
+                s
+            }
+        };
+        let servers = &self.servers;
+        let hasher = self.hasher;
+        let arc_count = self.overloaded.arc_count();
+        let mut queue: MergeQueue<u64, SpeculatedRoute> = MergeQueue::new(arc_count);
+        std::thread::scope(|scope| {
+            let snap: &RouteSnapshot = &snapshot;
+            let handles: Vec<_> = (0..arc_count)
+                .map(|arc| {
+                    let ids = self.overloaded.arc(arc);
+                    scope.spawn(move || {
+                        let mut lane = Vec::new();
+                        for &sid in ids {
+                            let Some(server) = servers.get(sid) else {
+                                continue;
+                            };
+                            let Some(hot) = server.hottest_splittable() else {
+                                continue;
+                            };
+                            let Ok((_, right)) = hot.split() else {
+                                continue;
+                            };
+                            let h = hasher.hash_key(right.virtual_key());
+                            let (lookup, path) = snap.route_with_path(server.id(), h);
+                            lane.push((sid, (h, lookup, path)));
+                        }
+                        lane
+                    })
+                })
+                .collect();
+            for (arc, handle) in handles.into_iter().enumerate() {
+                *queue.lane_mut(arc) = handle.join().expect("split speculation worker panicked");
+            }
+        });
+        for (sid, entry) in queue.drain() {
+            self.split_route_cache.insert(sid, entry);
+        }
     }
 
     /// Splits the hottest group of `sid_value`, placing the right child via
@@ -2168,6 +2431,9 @@ impl ClashCluster {
         let mut group = hot;
         let mut op_latency = SimDuration::ZERO;
         let mut committed_splits = false;
+        // A speculative pre-routed placement, if the split phase produced
+        // one for this candidate; only the first iteration can use it.
+        let mut speculated = self.split_route_cache.remove(&sid_value);
         // Finishes the operation after self-mapped iterations committed but
         // a later placement crossed the partition: the last right child is
         // already active locally, which is a valid terminal state.
@@ -2187,7 +2453,18 @@ impl ClashCluster {
             // the routing hops up to the cut were genuinely attempted.
             let (_, right_prefix) = group.split()?;
             let h = self.hasher.hash_key(right_prefix.virtual_key());
-            let (lookup, path) = self.net.find_successor_path(server_id, h);
+            let (lookup, path) = match speculated.take() {
+                // The speculation targeted exactly this hash, so its
+                // snapshot route is the live route; replay the lookup
+                // accounting the live call would have recorded. A stale
+                // entry (the hottest group changed since speculation)
+                // falls through to live routing.
+                Some((spec_h, lookup, path)) if spec_h == h => {
+                    self.net.record_routed_lookup(lookup.hops);
+                    (lookup, path)
+                }
+                _ => self.net.find_successor_path(server_id, h),
+            };
             for (from, to) in path {
                 if !self.transport_send(from, to, MessageClass::Probe, &mut op_latency) {
                     return if committed_splits {

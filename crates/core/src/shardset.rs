@@ -1,0 +1,190 @@
+//! Arc-sharded candidate sets for the cluster's dirty-tracked state.
+//!
+//! The load check's candidate indices (dirty, overloaded, mergeable,
+//! reporter servers) used to be single `BTreeSet<u64>`s. Sharding the
+//! cluster state by ring arc gives each arc its own set slice, so that
+//! per-arc phases (candidate classification, speculative split routing,
+//! replica work-list collection) can hand each worker thread exactly its
+//! arc's ids with no cross-arc aliasing — while *iteration order stays
+//! globally ascending*: the arc function
+//! [`clash_simkernel::merge::arc_of`] is monotone in the id, so
+//! concatenating the per-arc ordered sets in arc order is the global
+//! ring order. Every ordered walk over an [`ArcShardedSet`] is therefore
+//! bit-for-bit the walk the unsharded `BTreeSet` produced, whatever the
+//! shard count — the property the equivalence harness pins.
+
+use std::collections::BTreeSet;
+
+use clash_simkernel::merge::arc_of;
+
+/// A set of ring ids partitioned into per-arc `BTreeSet` slices.
+///
+/// Semantically identical to one `BTreeSet<u64>`; the partition only
+/// changes *where* each id is stored (its owning arc), never the
+/// membership or the ascending iteration order.
+#[derive(Debug, Clone)]
+pub struct ArcShardedSet {
+    arcs: Vec<BTreeSet<u64>>,
+    bits: u32,
+    len: usize,
+}
+
+impl ArcShardedSet {
+    /// An empty set over `shards` arcs of a `bits`-wide hash space.
+    /// `shards` is clamped to at least 1 (the sequential layout).
+    pub fn new(shards: usize, bits: u32) -> Self {
+        ArcShardedSet {
+            arcs: (0..shards.max(1)).map(|_| BTreeSet::new()).collect(),
+            bits,
+            len: 0,
+        }
+    }
+
+    /// The owning arc of `id`.
+    pub fn arc_of(&self, id: u64) -> usize {
+        arc_of(id, self.arcs.len(), self.bits)
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The ids owned by one arc, in ascending order.
+    pub fn arc(&self, arc: usize) -> &BTreeSet<u64> {
+        &self.arcs[arc]
+    }
+
+    /// Total ids across all arcs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no ids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `id`; returns true if it was new.
+    pub fn insert(&mut self, id: u64) -> bool {
+        let arc = self.arc_of(id);
+        let added = self.arcs[arc].insert(id);
+        self.len += usize::from(added);
+        added
+    }
+
+    /// Removes `id`; returns true if it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let arc = self.arc_of(id);
+        let removed = self.arcs[arc].remove(&id);
+        self.len -= usize::from(removed);
+        removed
+    }
+
+    /// True if `id` is present.
+    pub fn contains(&self, id: u64) -> bool {
+        self.arcs[self.arc_of(id)].contains(&id)
+    }
+
+    /// All ids in ascending order (arc concatenation — see module docs).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.arcs.iter().flat_map(|a| a.iter().copied())
+    }
+
+    /// The smallest id `>= from`, or `None`. This is the sharded
+    /// equivalent of `BTreeSet::range(from..).next()` — the cursor step
+    /// of the split/merge phases — and costs one range probe on the
+    /// cursor's own arc plus a first-element probe per later arc.
+    pub fn first_at_or_after(&self, from: u64) -> Option<u64> {
+        // The cursor may step past the top of the hash space (`last id
+        // + 1`); every stored id is below it, so nothing can match.
+        if self.bits < 64 && from >= (1u64 << self.bits) {
+            return None;
+        }
+        let start_arc = self.arc_of(from);
+        if let Some(&id) = self.arcs[start_arc].range(from..).next() {
+            return Some(id);
+        }
+        self.arcs[start_arc + 1..]
+            .iter()
+            .find_map(|a| a.first().copied())
+    }
+
+    /// Drains every arc into one ascending vector.
+    pub fn take_all(&mut self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        for arc in &mut self.arcs {
+            out.extend(std::mem::take(arc));
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Drains the set into its per-arc slices — the handoff shape the
+    /// parallel phases give their worker threads (arc `i` of the result
+    /// is worker `i`'s whole input).
+    pub fn take_arcs(&mut self) -> Vec<BTreeSet<u64>> {
+        self.len = 0;
+        self.arcs.iter_mut().map(std::mem::take).collect()
+    }
+
+    /// Inserts every id of `iter`.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(shards: usize) -> ArcShardedSet {
+        let mut s = ArcShardedSet::new(shards, 16);
+        for id in [0u64, 3, 0x1000, 0x7FFF, 0x8000, 0xBEEF, 0xFFFF] {
+            s.insert(id);
+        }
+        s
+    }
+
+    #[test]
+    fn iteration_is_globally_ascending_for_every_shard_count() {
+        let reference: Vec<u64> = filled(1).iter().collect();
+        assert!(reference.windows(2).all(|w| w[0] < w[1]));
+        for shards in [2usize, 3, 4, 8, 16] {
+            let s = filled(shards);
+            assert_eq!(s.iter().collect::<Vec<_>>(), reference, "shards={shards}");
+            assert_eq!(s.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn cursor_step_matches_btreeset_range() {
+        let reference: BTreeSet<u64> = filled(1).iter().collect();
+        let s = filled(8);
+        for from in [0u64, 1, 3, 4, 0x7FFF, 0x8000, 0x8001, 0xFFFF] {
+            assert_eq!(
+                s.first_at_or_after(from),
+                reference.range(from..).next().copied(),
+                "from={from:#x}"
+            );
+        }
+        assert_eq!(s.first_at_or_after(u64::MAX), None);
+    }
+
+    #[test]
+    fn insert_remove_and_drain_maintain_len() {
+        let mut s = ArcShardedSet::new(4, 16);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "duplicate insert is a no-op");
+        assert!(s.insert(0x9999));
+        assert!(s.contains(7));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert_eq!(s.len(), 1);
+        let drained = s.take_all();
+        assert_eq!(drained, vec![0x9999]);
+        assert!(s.is_empty());
+    }
+}

@@ -40,6 +40,11 @@ pub const WALL_CLOCK_CRATES: &[&str] = &["sim", "bench", "lint", "obs"];
 pub const REGISTERED_THREAD_SITES: &[&str] = &[
     "crates/core/src/cluster.rs",
     "crates/sim/src/experiments/mod.rs",
+    // PR 9 state sharding: the transport's batched send lanes and the
+    // chord net's partitioned table computation both fan out under
+    // `std::thread::scope` with deterministic recombination.
+    "crates/transport/src/link.rs",
+    "crates/chord/src/net.rs",
 ];
 
 /// File basenames allowed to read process environment variables: the

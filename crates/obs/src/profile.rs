@@ -22,6 +22,9 @@ pub enum CheckPhase {
     CandidateRefresh,
     /// LOAD_REPORT delivery to parent-group owners.
     Reports,
+    /// Speculative pre-routing of split placements against the frozen
+    /// snapshot (sharded lanes), ahead of the split cursor walk.
+    SplitSpeculate,
     /// The split cursor walk (hot groups, one binary level each).
     Splits,
     /// The merge cursor walk (cold siblings back to parents).
@@ -38,10 +41,11 @@ pub enum CheckPhase {
 
 impl CheckPhase {
     /// Every phase, in report order.
-    pub const ALL: [CheckPhase; 9] = [
+    pub const ALL: [CheckPhase; 10] = [
         CheckPhase::Recovery,
         CheckPhase::CandidateRefresh,
         CheckPhase::Reports,
+        CheckPhase::SplitSpeculate,
         CheckPhase::Splits,
         CheckPhase::Merges,
         CheckPhase::ReplicaSync,
@@ -57,6 +61,7 @@ impl CheckPhase {
             CheckPhase::Recovery => "recovery",
             CheckPhase::CandidateRefresh => "candidate_refresh",
             CheckPhase::Reports => "reports",
+            CheckPhase::SplitSpeculate => "split_speculate",
             CheckPhase::Splits => "splits",
             CheckPhase::Merges => "merges",
             CheckPhase::ReplicaSync => "replica_sync",
@@ -80,7 +85,7 @@ impl CheckPhase {
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseProfile {
     /// Milliseconds spent in each phase, indexed by [`CheckPhase::index`].
-    pub ms: [f64; 9],
+    pub ms: [f64; 10],
 }
 
 impl PhaseProfile {

@@ -30,6 +30,13 @@ pub trait TraceSink {
     fn dropped(&self) -> u64 {
         0
     }
+    /// The sink's buffer bound, if it has one (`None` for unbounded or
+    /// non-recording sinks). Lets diagnostic dumpers size their tail
+    /// request to what the sink can actually hold instead of assuming a
+    /// fixed window.
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The zero-cost default: reports disabled, records nothing.
@@ -108,6 +115,10 @@ impl TraceSink for RingSink {
 
     fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity)
     }
 }
 
@@ -219,6 +230,14 @@ mod tests {
         let all = s.drain();
         assert_eq!(all.iter().map(|e| e.seq).collect::<Vec<_>>(), [2, 3, 4]);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_accessor_reports_only_bounded_sinks() {
+        assert_eq!(RingSink::new(3).capacity(), Some(3));
+        assert_eq!(RingSink::new(0).capacity(), Some(1), "capacity clamps to 1");
+        assert_eq!(NullSink.capacity(), None);
+        assert_eq!(FullSink::new().capacity(), None);
     }
 
     #[test]

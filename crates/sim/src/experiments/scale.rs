@@ -134,6 +134,17 @@ impl ScaleOutput {
             .map(|c| c.events_per_sec)
             .min_by(f64::total_cmp)
     }
+
+    /// The smallest `events_per_sec` across churn cells — the number the
+    /// CI churn smoke (a single filtered cell, e.g. `churn_1000000` at
+    /// `--scale 0.02`) checks its floor against.
+    pub fn min_churn_events_per_sec(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Churn)
+            .map(|c| c.events_per_sec)
+            .min_by(f64::total_cmp)
+    }
 }
 
 /// Default root seed (overridable with `--seed`).
@@ -141,15 +152,19 @@ pub const DEFAULT_SEED: u64 = 0xC1A5_5CA1;
 
 /// The churn sweep at `--scale 1.0` as `(servers, sources_per_server,
 /// virtual minutes)`: the paper's Figure-4 cell, up to ~10× it at the
-/// paper-regime density, and a 100k-server cell at reduced density and
-/// duration (the density and duration shrink so the cell measures ring
-/// mechanics at two orders of magnitude past the paper's evaluation
-/// without the population cost swamping the sweep).
-pub const CHURN_CELLS: [(usize, usize, u64); 4] = [
+/// paper-regime density, a 100k-server cell, and a 1M-server cell, the
+/// last two at reduced density and duration (the density and duration
+/// shrink so the cells measure ring mechanics at two and three orders
+/// of magnitude past the paper's evaluation without the population cost
+/// swamping the sweep). Check cadence and churn rate scale with each
+/// cell's minutes (see [`churn_cell`]), so every cell observes a
+/// comparable number of checks and membership events per run.
+pub const CHURN_CELLS: [(usize, usize, u64); 5] = [
     (1000, 10, 30),
     (4000, 10, 30),
     (10_000, 10, 30),
     (100_000, 2, 10),
+    (1_000_000, 1, 5),
 ];
 
 /// Ring sizes of the load-check cells at `--scale 1.0`.
@@ -164,6 +179,18 @@ pub const LOADCHECK_MOVES_PER_CHECK: u64 = 2;
 
 fn scaled(n: usize, scale: f64, floor: usize) -> usize {
     ((n as f64 * scale).round() as usize).max(floor)
+}
+
+/// Per-check mean from the driver's counted totals. The zero-check case
+/// is explicit: a cell whose run fired no load checks reports 0.0, not
+/// the whole `check_wall_ms` masquerading as a single check's cost
+/// (dividing by `load_checks.max(1)` used to do exactly that).
+fn mean_check_ms(check_wall_ms: f64, load_checks: u64) -> f64 {
+    if load_checks == 0 {
+        0.0
+    } else {
+        check_wall_ms / load_checks as f64
+    }
 }
 
 /// One full-driver churn cell: `servers` ring, `sources_per_server`
@@ -186,6 +213,15 @@ fn churn_cell(
     }
     .with_replication(2)
     .with_shards(shards);
+    // Scale every period with the cell's virtual minutes so each cell
+    // observes a comparable number of checks (~30) and membership
+    // events (~7 expected) regardless of duration: before this, the
+    // short 100k cell ran 9 checks and 2 membership events against
+    // 29/11 for the 30-minute cells, so its phase profile and
+    // membership costs weren't comparable across the column. All base
+    // periods are multiples of 30 s, so `secs * mins / 30` is exact —
+    // 30-minute cells keep bit-identical schedules.
+    let cadence = |secs: u64| SimDuration::from_secs((secs * mins / 30).max(1));
     let spec = ScenarioSpec {
         servers,
         sources,
@@ -194,17 +230,17 @@ fn churn_cell(
             workload: WorkloadKind::C,
             duration: SimDuration::from_mins(mins),
         }],
-        load_check_period: SimDuration::from_secs(60),
-        sample_period: SimDuration::from_mins(5),
+        load_check_period: cadence(60),
+        sample_period: cadence(5 * 60),
         seed,
         churn: Some(
             ChurnSpec::sustained(
-                SimDuration::from_mins(10),
-                SimDuration::from_mins(12),
+                cadence(10 * 60),
+                cadence(12 * 60),
                 (servers / 2).max(2),
                 servers * 2,
             )
-            .with_crashes(SimDuration::from_mins(20)),
+            .with_crashes(cadence(20 * 60)),
         ),
         ..ScenarioSpec::paper()
     };
@@ -229,7 +265,7 @@ fn churn_cell(
         // the batch flush (a derived count once masked this column
         // reporting 0.0 for every churn cell).
         load_checks: result.load_checks,
-        mean_check_ms: result.check_wall_ms / result.load_checks.max(1) as f64,
+        mean_check_ms: mean_check_ms(result.check_wall_ms, result.load_checks),
         max_check_ms: result.max_check_ms,
         phase_ms: result.phase_profile,
         splits: result.splits,
@@ -333,14 +369,43 @@ pub fn run(scale: f64) -> Result<ScaleOutput, ClashError> {
 ///
 /// Propagates scenario errors.
 pub fn run_seeded(scale: f64, seed: Option<u64>, shards: u32) -> Result<ScaleOutput, ClashError> {
+    run_filtered(scale, seed, shards, None)
+}
+
+/// [`run_seeded`] restricted to a comma-separated list of exact cell
+/// names (e.g. `churn_1000000` or `churn_1000,loadcheck_4000`). `None`
+/// runs the full sweep. Matching is exact, not substring — the churn
+/// column's names are prefixes of each other (`churn_1000` …
+/// `churn_1000000`), so a substring filter would silently drag the
+/// 100k/1M cells into what looks like a quick small-cell run. Names are
+/// the canonical unscaled ones whatever `--scale` says. Each cell is
+/// independent — a filtered run's cells are bit-identical to the same
+/// cells of the full sweep.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run_filtered(
+    scale: f64,
+    seed: Option<u64>,
+    shards: u32,
+    filter: Option<&str>,
+) -> Result<ScaleOutput, ClashError> {
     let seed = seed.unwrap_or(DEFAULT_SEED);
+    let wanted = |name: &str| filter.is_none_or(|f| f.split(',').any(|tok| tok.trim() == name));
     let mut cells = Vec::new();
     for &(n, density, mins) in &CHURN_CELLS {
+        if !wanted(&format!("churn_{n}")) {
+            continue;
+        }
         let servers = scaled(n, scale, 16);
         eprintln!("[scale] churn cell: {servers} servers...");
         cells.push(churn_cell(servers, density, mins, shards, seed)?);
     }
     for &n in &LOADCHECK_RING_SIZES {
+        if !wanted(&format!("loadcheck_{n}")) {
+            continue;
+        }
         let servers = scaled(n, scale, 32);
         eprintln!("[scale] load-check cell: {servers} servers...");
         cells.push(loadcheck_cell(servers, shards, seed)?);
@@ -641,5 +706,74 @@ mod tests {
             "trajectory must not regress to zeroed max-check timings"
         );
         assert!(json.contains("\"phase_flush_route_ms\""));
+        // The zero-check case is explicit: 0.0, never the whole
+        // check_wall_ms masquerading as one check's mean (which is what
+        // `check_wall_ms / load_checks.max(1)` reported).
+        assert_eq!(mean_check_ms(1234.5, 0), 0.0);
+        assert_eq!(mean_check_ms(100.0, 4), 25.0);
+    }
+
+    /// `--cells` runs exactly the matching cells, and a filtered cell is
+    /// bit-identical to the same cell of the full sweep (cells are
+    /// independent).
+    #[test]
+    fn cell_filter_selects_and_matches_full_sweep() {
+        let full = run_seeded(0.005, Some(11), 0).unwrap();
+        let only = run_filtered(0.005, Some(11), 0, Some("churn_4000")).unwrap();
+        assert_eq!(only.cells.len(), 1);
+        let a = &only.cells[0];
+        let b = full.cells.iter().find(|c| c.name == a.name).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!((a.splits, a.merges), (b.splits, b.merges));
+        assert_eq!(a.membership_events, b.membership_events);
+        assert_eq!(a.locate_p95_ms, b.locate_p95_ms);
+        let none = run_filtered(0.005, Some(11), 0, Some("no_such_cell")).unwrap();
+        assert!(none.cells.is_empty());
+        assert!(none.min_churn_events_per_sec().is_none());
+        assert!(only.min_churn_events_per_sec().is_some());
+        // Exact matching: the canonical churn names are prefixes of each
+        // other, so `churn_1000` must select exactly the 1000-server
+        // cell and never drag the 10k/100k/1M cells along. (Reported
+        // names carry the scaled server count; only the count and kind
+        // identify the cell here.)
+        let prefix = run_filtered(0.005, Some(11), 0, Some("churn_1000")).unwrap();
+        assert_eq!(prefix.cells.len(), 1);
+        assert_eq!(prefix.cells[0].servers, 16, "scaled churn_1000 cell");
+        // Comma lists select each named cell once.
+        let pair = run_filtered(0.005, Some(11), 0, Some("churn_4000, loadcheck_4000")).unwrap();
+        assert_eq!(pair.cells.len(), 2);
+        assert_eq!(pair.cells[0].kind, CellKind::Churn);
+        assert_eq!(pair.cells[1].kind, CellKind::LoadCheck);
+    }
+
+    /// Check cadence and churn periods scale with cell minutes: every
+    /// churn cell must observe a comparable number of load checks and a
+    /// comparable expected number of membership events, or the phase
+    /// profile columns aren't comparable across the sweep (the 10-minute
+    /// 100k cell used to run 9 checks / 2 membership events vs 29/11 for
+    /// the 30-minute cells).
+    #[test]
+    fn churn_cells_observe_comparable_checks_and_events() {
+        let out = run_seeded(0.005, Some(19), 0).unwrap();
+        let churn: Vec<_> = out
+            .cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Churn)
+            .collect();
+        assert!(churn.len() >= 4);
+        let checks: Vec<u64> = churn.iter().map(|c| c.load_checks).collect();
+        let (lo, hi) = (*checks.iter().min().unwrap(), *checks.iter().max().unwrap());
+        assert!(
+            hi <= lo + 3,
+            "check counts must be comparable across cells, got {checks:?}"
+        );
+        for c in &churn {
+            assert!(
+                c.membership_events >= 4,
+                "{}: churn cadence must yield a comparable event count, got {}",
+                c.name,
+                c.membership_events
+            );
+        }
     }
 }

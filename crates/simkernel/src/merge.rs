@@ -15,6 +15,20 @@
 //! lane and then k-way merges, so the output is invariant under any
 //! permutation of pushes within a lane and any interleaving across lanes.
 
+/// The canonical ring-arc shard function: hash `h` (in a `bits`-wide
+/// space) maps to one of `shards` contiguous key-space arcs,
+/// `⌊h · shards / 2^bits⌋`. Every sharded structure — probe lanes, the
+/// arc-sharded candidate sets, per-arc arena views — must use this one
+/// function so an id's owning arc is a single global fact.
+///
+/// Monotone in `h`: all ids of arc `a` precede all ids of arc `a + 1`,
+/// so concatenating per-arc ordered sets in arc order yields the global
+/// ascending order.
+pub fn arc_of(h: u64, shards: usize, bits: u32) -> usize {
+    debug_assert!(shards > 0, "arc_of needs at least one shard");
+    ((u128::from(h) * shards as u128) >> bits) as usize
+}
+
 /// A fixed set of ordered lanes whose contents drain as one globally
 /// ordered stream.
 #[derive(Debug)]
@@ -58,6 +72,14 @@ impl<K: Ord + Copy, T> MergeQueue<K, T> {
     /// from a worker thread (`std::mem::swap` the thread-local results in).
     pub fn lane_mut(&mut self, lane: usize) -> &mut Vec<(K, T)> {
         &mut self.lanes[lane]
+    }
+
+    /// Empties every lane, keeping the lane allocations for reuse across
+    /// flushes.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
     }
 
     /// Drains every lane into one stream ordered by `(key, lane index)`.
@@ -159,5 +181,33 @@ mod tests {
         let mut q: MergeQueue<u64, ()> = MergeQueue::new(8);
         assert_eq!(q.lane_count(), 8);
         assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_lanes_reusable() {
+        let mut q = MergeQueue::new(2);
+        q.push(0, 3u64, 'x');
+        q.push(1, 1, 'y');
+        q.clear();
+        assert!(q.is_empty());
+        q.push(1, 2, 'z');
+        assert_eq!(q.drain(), vec![(2, 'z')]);
+    }
+
+    #[test]
+    fn arc_of_is_monotone_and_total() {
+        let bits = 16u32;
+        let shards = 8usize;
+        let mut prev = 0usize;
+        for h in (0..=0xFFFFu64).step_by(97) {
+            let a = arc_of(h, shards, bits);
+            assert!(a < shards);
+            assert!(a >= prev, "arc function must be monotone in h");
+            prev = a;
+        }
+        assert_eq!(arc_of(0, shards, bits), 0);
+        assert_eq!(arc_of(0xFFFF, shards, bits), shards - 1);
+        // One shard maps everything to arc 0.
+        assert_eq!(arc_of(0xABCD, 1, bits), 0);
     }
 }

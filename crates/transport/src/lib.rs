@@ -183,6 +183,17 @@ impl TransportStats {
     }
 }
 
+/// One pre-planned message of a batch (see [`Transport::send_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendSpec {
+    /// Sender address.
+    pub src: NodeAddr,
+    /// Destination address.
+    pub dst: NodeAddr,
+    /// Accounting class.
+    pub class: MessageClass,
+}
+
 /// A virtual-time message transport.
 ///
 /// Implementations must be deterministic: the outcome of a `send` may
@@ -193,6 +204,31 @@ pub trait Transport: Send {
     ///
     /// Local deliveries (`src == dst`) are free and always succeed.
     fn send(&mut self, src: NodeAddr, dst: NodeAddr, class: MessageClass) -> Delivery;
+
+    /// Delivers a pre-planned batch, writing one [`Delivery`] per spec
+    /// into `out` (cleared first), in spec order.
+    ///
+    /// The contract is strict bit-for-bit equivalence with calling
+    /// [`Transport::send`] once per spec in order — same deliveries,
+    /// same final [`TransportStats`], same internal state afterwards.
+    /// The default implementation is exactly that loop; implementations
+    /// may override it with a faster schedule (batched lookups, worker
+    /// threads over link-disjoint lanes) as long as the equivalence
+    /// holds. The flush charge path hands its whole plan-ordered window
+    /// to this method.
+    fn send_batch(&mut self, sends: &[SendSpec], out: &mut Vec<Delivery>) {
+        out.clear();
+        out.reserve(sends.len());
+        for s in sends {
+            let d = self.send(s.src, s.dst, s.class);
+            out.push(d);
+        }
+    }
+
+    /// Advisory worker-thread budget for [`Transport::send_batch`]
+    /// (1 = stay on the caller's thread). Purely an execution-strategy
+    /// hint: results never depend on it. Default: ignored.
+    fn set_batch_workers(&mut self, _workers: usize) {}
 
     /// Counters accumulated since construction (or the last reset).
     fn stats(&self) -> TransportStats;

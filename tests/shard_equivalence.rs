@@ -53,6 +53,18 @@ fn burst_spec() -> ScenarioSpec {
     )
 }
 
+/// A flash crowd: a rapid join ramp mid-run. Every joining server lands
+/// on some arc and immediately participates in split placement and
+/// replica sweeps — the membership pattern most likely to expose a
+/// shard-count dependence in the arc-sharded candidate sets.
+fn flash_spec() -> ScenarioSpec {
+    pin_spec().with_churn(ChurnSpec::flash_crowd(
+        SimDuration::from_mins(3),
+        24,
+        SimDuration::from_secs(10),
+    ))
+}
+
 fn run(spec: ScenarioSpec, replication: usize, shards: u32) -> RunResult {
     let config = ClashConfig {
         capacity: 60.0,
@@ -125,14 +137,30 @@ fn single_shard_batching_matches_sequential_bit_for_bit() {
 /// Real multi-shard runs (worker threads live): N ∈ {2, 4, 8} must all
 /// produce the same `RunResult` as each other *and* as the sequential
 /// run — determinism across thread counts, not merely across repeats.
+/// Pinned on the two nastiest membership patterns (crash bursts and a
+/// flash-crowd join ramp) at r ∈ {0, 2}.
 #[test]
 fn shard_counts_two_four_eight_agree() {
-    let baseline = run(burst_spec(), 2, 0);
-    for shards in [2u32, 4, 8] {
-        let sharded = run(burst_spec(), 2, shards);
-        assert_equal_runs(&baseline, &sharded, &format!("shards={shards}"));
+    type SpecFn = fn() -> ScenarioSpec;
+    let scenarios: [(&str, SpecFn); 2] = [("burst", burst_spec), ("flash", flash_spec)];
+    for (name, make_spec) in scenarios {
+        for replication in [0usize, 2] {
+            let baseline = run(make_spec(), replication, 0);
+            for shards in [2u32, 4, 8] {
+                let sharded = run(make_spec(), replication, shards);
+                assert_equal_runs(
+                    &baseline,
+                    &sharded,
+                    &format!("{name} r={replication} shards={shards}"),
+                );
+            }
+            if name == "burst" {
+                assert!(baseline.crashes > 0, "burst scenario must crash servers");
+            } else {
+                assert!(baseline.joins >= 24, "flash crowd must join its servers");
+            }
+        }
     }
-    assert!(baseline.crashes > 0, "burst scenario must crash servers");
 }
 
 /// Repeated multi-shard runs are self-identical: the thread schedule of

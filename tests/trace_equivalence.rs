@@ -161,17 +161,23 @@ fn full_trace_captures_the_expected_event_classes() {
 fn ring_sink_retains_the_newest_tail() {
     let (_, mut full_cluster) = run(0, 0, TraceMode::Full);
     let full = full_cluster.take_trace_events();
-    let cap = 128usize;
-    let (_, mut ring_cluster) = run(0, 0, TraceMode::Ring(cap));
-    let kept = ring_cluster.take_trace_events();
-    assert_eq!(kept.len(), cap.min(full.len()));
-    assert_eq!(
-        ring_cluster.trace_dropped(),
-        (full.len() - kept.len()) as u64,
-        "ring must account every shed event"
-    );
-    let tail = &full[full.len() - kept.len()..];
-    assert_eq!(kept, tail, "ring tail must equal the full capture's end");
+    // Both sides of the panic dump's 64-event window: a ring smaller
+    // than the window (the case the capacity accessor exists for) and
+    // one larger than it.
+    for cap in [16usize, 128] {
+        let (_, mut ring_cluster) = run(0, 0, TraceMode::Ring(cap));
+        let kept = ring_cluster.take_trace_events();
+        assert_eq!(kept.len(), cap.min(full.len()), "cap={cap}");
+        // Conservation: every emitted event is either kept or counted
+        // as shed — nothing vanishes unaccounted.
+        assert_eq!(
+            ring_cluster.trace_dropped() + kept.len() as u64,
+            full.len() as u64,
+            "ring must account every shed event (cap={cap})"
+        );
+        let tail = &full[full.len() - kept.len()..];
+        assert_eq!(kept, tail, "ring tail must equal the full capture's end");
+    }
 }
 
 /// The unified telemetry registry agrees with the legacy per-struct
