@@ -1,0 +1,166 @@
+//! Seed-derived chaos schedules.
+//!
+//! A [`ChaosSchedule`] is a seed plus an ordered list of
+//! [`FaultKind`] events. The seed drives *both* the cluster under test
+//! and the injector's random choices (which concrete victims, islands,
+//! keys), so a schedule replays bit-for-bit and survives shrinking: the
+//! events carry budgets, not absolute ids, and every random resolution
+//! is derived from `(seed, position)` at injection time.
+
+use clash_simkernel::rng::DetRng;
+use clash_workload::FaultKind;
+
+/// One replayable chaos scenario: a seed and the events to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Root seed: drives the cluster under test and every injector
+    /// choice. Two schedules with the same seed and events are the same
+    /// run.
+    pub seed: u64,
+    /// The events, injected in order. The engine appends its own
+    /// quiescence epilogue (heal, gray-recover, convergence checks), so
+    /// schedules do not need to end tidily.
+    pub events: Vec<FaultKind>,
+}
+
+impl ChaosSchedule {
+    /// Generates the `index`-th random schedule of a campaign.
+    ///
+    /// Deterministic in `(campaign_seed, index)`. The event mix leans
+    /// on breathing steps (`load_checks`) between faults so recovery
+    /// machinery actually runs mid-schedule instead of piling every
+    /// fault onto a frozen cluster.
+    #[must_use]
+    pub fn generate(campaign_seed: u64, index: u64) -> ChaosSchedule {
+        let mut rng = DetRng::new(campaign_seed).substream_indexed("schedule", index);
+        let seed = rng.next_u64();
+        let n_events = 8 + rng.uniform_index(5); // 8..=12
+        let mut events = Vec::with_capacity(n_events * 2);
+        for _ in 0..n_events {
+            let event = Self::random_event(&mut rng);
+            events.push(event);
+            // Breathing room: most faults are followed by at least one
+            // load check so deferrals retry and splits/merges happen
+            // while later faults land.
+            if event.is_fault() && rng.chance(0.7) {
+                events.push(FaultKind::LoadChecks {
+                    count: 1 + rng.uniform_index(2) as u32,
+                });
+            }
+        }
+        ChaosSchedule { seed, events }
+    }
+
+    /// One weighted random event. Weights keep crash/partition/churn
+    /// pressure high while still exercising the gray-failure and
+    /// flash-crowd paths every few schedules.
+    fn random_event(rng: &mut DetRng) -> FaultKind {
+        // (weight, class) table; total 20.
+        match rng.uniform_index(20) {
+            0..=2 => FaultKind::CrashBurst {
+                victims: 1 + rng.uniform_index(3) as u32,
+            },
+            3 | 4 => FaultKind::RingCorrelatedCrash {
+                span: 2 + rng.uniform_index(3) as u32,
+            },
+            5 | 6 => FaultKind::PartitionStorm {
+                islands: 2 + rng.uniform_index(2) as u32,
+            },
+            7 => FaultKind::LinkFlap {
+                cycles: 1 + rng.uniform_index(4) as u32,
+            },
+            8 | 9 => FaultKind::GrayDegrade {
+                drop_permille: 50 + rng.uniform_index(251) as u32,
+                extra_latency_ms: 1 + rng.uniform_index(20) as u32,
+            },
+            10 => FaultKind::GrayRecover,
+            11 | 12 => FaultKind::ChurnAvalanche {
+                joins: 1 + rng.uniform_index(3) as u32,
+                leaves: 1 + rng.uniform_index(3) as u32,
+            },
+            13 | 14 => {
+                let depth = 2 + rng.uniform_index(3) as u32;
+                FaultKind::FlashCrowd {
+                    // Left-aligned in 64 bits; the injector takes the
+                    // top `depth` bits whatever the key width is.
+                    prefix_bits: rng.next_u64() & (u64::MAX << (64 - depth)),
+                    prefix_depth: depth,
+                    // Big enough (at the injector's flash-crowd rate)
+                    // that a concentrated crowd overloads its group and
+                    // forces splits.
+                    sources: 40 + rng.uniform_index(41) as u32,
+                }
+            }
+            15 | 16 => FaultKind::SourceExodus {
+                // Sized to swallow a whole preceding crowd, collapsing
+                // the split subtree back into merges.
+                sources: 40 + rng.uniform_index(61) as u32,
+            },
+            17 => FaultKind::Heal,
+            _ => FaultKind::LoadChecks {
+                count: 1 + rng.uniform_index(3) as u32,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ChaosSchedule::generate(42, 7);
+        let b = ChaosSchedule::generate(42, 7);
+        assert_eq!(a, b);
+        let c = ChaosSchedule::generate(42, 8);
+        assert_ne!(a, c, "different index, different schedule");
+        let d = ChaosSchedule::generate(43, 7);
+        assert_ne!(a, d, "different campaign seed, different schedule");
+    }
+
+    #[test]
+    fn schedules_are_nonempty_and_inject_faults() {
+        for i in 0..32 {
+            let s = ChaosSchedule::generate(1, i);
+            assert!(s.events.len() >= 8);
+            assert!(
+                s.events.iter().any(|e| e.is_fault()),
+                "schedule {i} injects at least one fault"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_covers_every_fault_class() {
+        let mut seen = [false; FaultKind::CLASS_LABELS.len()];
+        for i in 0..256 {
+            for e in ChaosSchedule::generate(9, i).events {
+                seen[e.class_index()] = true;
+            }
+        }
+        for (i, label) in FaultKind::CLASS_LABELS.iter().enumerate() {
+            assert!(seen[i], "class {label} never generated in 256 schedules");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_prefix_bits_are_left_aligned() {
+        for i in 0..256 {
+            for e in ChaosSchedule::generate(3, i).events {
+                if let FaultKind::FlashCrowd {
+                    prefix_bits,
+                    prefix_depth,
+                    ..
+                } = e
+                {
+                    assert_eq!(
+                        prefix_bits & !(u64::MAX << (64 - prefix_depth)),
+                        0,
+                        "bits below the prefix depth must be zero"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Delta debugging for failing schedules.
+//!
+//! The campaign engine hands a failing schedule to [`ddmin`] with a
+//! predicate that replays a candidate subset from the same seed.
+//! Because every replay is fully deterministic, the predicate is a pure
+//! function of the subset and the classic `ddmin` algorithm (Zeller &
+//! Hildebrandt 2002) applies unchanged: partition the sequence into
+//! chunks, try each chunk and each complement, refine the granularity
+//! whenever nothing smaller fails, and stop at a 1-minimal sequence —
+//! removing any single remaining event makes the failure vanish.
+
+/// Shrinks `events` to a 1-minimal subsequence for which `fails` still
+/// returns `true`.
+///
+/// `fails` must be deterministic, and must return `true` for the full
+/// input (callers only shrink schedules they have already seen fail).
+/// Relative event order is always preserved — `ddmin` only removes
+/// events, never reorders them.
+///
+/// Complexity is the usual worst-case O(n²) predicate evaluations; in
+/// practice failing chaos schedules shrink in a few dozen replays.
+pub fn ddmin<T, F>(events: &[T], mut fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
+{
+    let mut current: Vec<T> = events.to_vec();
+    if current.len() <= 1 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+
+        // Try each complement (the sequence with one chunk removed);
+        // testing complements first is what makes ddmin converge fast
+        // when most of the schedule is irrelevant.
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if !complement.is_empty() && fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+
+        // Try each chunk on its own (catches the case where one dense
+        // cluster of events is the whole story).
+        if granularity > 2 {
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                let subset: Vec<T> = current[start..end].to_vec();
+                if fails(&subset) {
+                    current = subset;
+                    granularity = 2;
+                    reduced = true;
+                    break;
+                }
+                start = end;
+            }
+            if reduced {
+                continue;
+            }
+        }
+
+        // Nothing smaller fails at this granularity: refine or stop.
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_event_schedule_shrinks_to_culprit_pair() {
+        // A known 12-event failing schedule whose failure needs exactly
+        // two events (3 and 7) to reproduce, in order.
+        let schedule: Vec<u32> = (0..12).collect();
+        let mut replays = 0u32;
+        let minimal = ddmin(&schedule, |subset| {
+            replays += 1;
+            let a = subset.iter().position(|&e| e == 3);
+            let b = subset.iter().position(|&e| e == 7);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert!(
+            minimal.len() <= 3,
+            "12-event schedule must shrink to <= 3 events, got {minimal:?}"
+        );
+        assert_eq!(minimal, vec![3, 7], "ddmin finds the exact culprit pair");
+        assert!(replays < 100, "shrinking stays cheap ({replays} replays)");
+    }
+
+    #[test]
+    fn single_culprit_shrinks_to_one_event() {
+        let schedule: Vec<u32> = (0..9).collect();
+        let minimal = ddmin(&schedule, |s| s.contains(&5));
+        assert_eq!(minimal, vec![5]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure requires three scattered events; every event in the
+        // shrunk schedule must be load-bearing.
+        let schedule: Vec<u32> = (0..16).collect();
+        let fails = |s: &[u32]| s.contains(&1) && s.contains(&8) && s.contains(&14);
+        let minimal = ddmin(&schedule, fails);
+        assert!(fails(&minimal));
+        for drop in 0..minimal.len() {
+            let mut pruned = minimal.clone();
+            pruned.remove(drop);
+            assert!(
+                !fails(&pruned),
+                "event {} is removable — not 1-minimal",
+                minimal[drop]
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_event_order() {
+        let schedule: Vec<u32> = vec![9, 4, 7, 1, 8];
+        let minimal = ddmin(&schedule, |s| s.contains(&4) && s.contains(&8));
+        assert_eq!(minimal, vec![4, 8]);
+    }
+}

@@ -41,7 +41,7 @@ use clash_simkernel::merge::MergeQueue;
 use clash_simkernel::rng::DetRng;
 use clash_simkernel::time::{SimDuration, SimTime};
 use clash_transport::{
-    Delivery, InstantTransport, MessageClass, SendSpec, Transport, TransportStats,
+    Delivery, InstantTransport, LinkPolicy, MessageClass, SendSpec, Transport, TransportStats,
 };
 
 use crate::arena::ServerArena;
@@ -246,6 +246,10 @@ pub struct LeaveReport {
 struct PendingRecovery {
     old_owner: ServerId,
     single_crash: bool,
+    /// Load checks this entry has stayed blocked since it was deferred
+    /// (0 = never retried yet). Feeds the
+    /// `recovery.deferred_max_wait_checks` telemetry counter.
+    waited_checks: u64,
 }
 
 /// Internal tally of one entry-migration batch.
@@ -407,6 +411,22 @@ pub struct ClashCluster {
     /// must become reachable before promotion. Retried at every load
     /// check; always empty without replication.
     pending_recovery: BTreeMap<Prefix, PendingRecovery>,
+    /// Deferred-recovery retry attempts since construction: every
+    /// per-group attempt of `retry_deferred_recoveries` counts exactly
+    /// once, so `retries == retries_blocked + completed + lost` (the
+    /// conservation law `tests/replication_faults.rs` pins).
+    recovery_retries: u64,
+    /// Subset of [`ClashCluster::recovery_retries`] that stayed blocked
+    /// behind the partition.
+    recovery_retries_blocked: u64,
+    /// The longest any `pending_recovery` entry has waited, in load
+    /// checks — stuck entries surface here instead of staying silent.
+    recovery_deferred_max_wait: u64,
+    /// Chaos-only fault hook: when set, merges skip re-seeding the
+    /// parent's replica set (see
+    /// [`ClashCluster::set_chaos_skip_merge_reseed`]). Never set outside
+    /// fault-injection tests.
+    chaos_skip_merge_reseed: bool,
     /// True while crash recovery runs — any oracle (`global_index`) read
     /// in that window is counted below. With replication enabled the
     /// replica-promotion path must keep the counter at zero; tests and
@@ -604,6 +624,10 @@ impl ClashCluster {
             max_splits_per_check: 64,
             max_merges_per_check: 64,
             pending_recovery: BTreeMap::new(),
+            recovery_retries: 0,
+            recovery_retries_blocked: 0,
+            recovery_deferred_max_wait: 0,
+            chaos_skip_merge_reseed: false,
             recovery_active: Cell::new(false),
             oracle_reads_in_recovery: Cell::new(0),
             dirty_servers,
@@ -922,6 +946,73 @@ impl ClashCluster {
         self.pending_recovery.len()
     }
 
+    /// The groups of every deferred recovery, in key order. Together
+    /// with [`ClashCluster::global_cover`] these partition the key space
+    /// (the cover∪pending completeness invariant the chaos campaigns
+    /// re-check without panicking).
+    pub fn pending_recovery_groups(&self) -> Vec<Prefix> {
+        self.pending_recovery.keys().copied().collect()
+    }
+
+    /// Cumulative deferred-recovery retry counters since construction:
+    /// `(retries, retries_blocked)`. Every retry attempt lands in
+    /// exactly one of blocked / completed / lost, so
+    /// `retries == retries_blocked + recoveries_completed + recoveries_lost`
+    /// summed over all load-check reports.
+    pub fn recovery_retry_counters(&self) -> (u64, u64) {
+        (self.recovery_retries, self.recovery_retries_blocked)
+    }
+
+    /// True while the transport is severed into islands.
+    pub fn network_is_partitioned(&self) -> bool {
+        self.transport.is_partitioned()
+    }
+
+    /// Active groups whose replica placement is below the successor-list
+    /// target *and* not queued for repair — `(group, live_holders,
+    /// desired)`. Transiently-under-replicated groups sit in the
+    /// periodic sync's worklist and are excluded; at quiescence (healed
+    /// network, no pending recoveries, a completed load check) this is
+    /// empty, which the chaos invariant suite checks. A group that shows
+    /// up here has silently fallen out of the replication protocol.
+    pub fn replica_placement_deficit(&self) -> Vec<(Prefix, usize, usize)> {
+        if !self.replication_enabled() {
+            return Vec::new();
+        }
+        let mut deficit = Vec::new();
+        for (group, &owner) in self.global_index.iter() {
+            if self.replica_dirty.contains(&group) || self.pending_recovery.contains_key(&group) {
+                continue;
+            }
+            let Some(server) = self.servers.get(owner.value()) else {
+                continue;
+            };
+            let desired = self
+                .net
+                .alive_successors(owner, self.config.replication_factor)
+                .len();
+            let live = server
+                .replica_store()
+                .placed(group)
+                .iter()
+                .filter(|h| self.servers.contains(h.value()))
+                .count();
+            if live < desired {
+                deficit.push((group, live, desired));
+            }
+        }
+        deficit
+    }
+
+    /// Chaos-only fault hook: when enabled, merges skip the parent
+    /// group's replica re-seed, silently dropping the merged group out
+    /// of the replication protocol. Exists so the fault-injection
+    /// campaigns can prove they catch a real protocol bug (the
+    /// `clash-chaos` injected-bug test); never enable it elsewhere.
+    pub fn set_chaos_skip_merge_reseed(&mut self, on: bool) {
+        self.chaos_skip_merge_reseed = on;
+    }
+
     // ----- observability -------------------------------------------------
 
     /// Installs a flight-recorder sink; whatever the previous sink still
@@ -1048,6 +1139,12 @@ impl ClashCluster {
         t.counter("messages.total", m.total_messages());
         t.gauge("servers.active", self.server_count() as f64);
         t.gauge("recovery.pending", self.pending_recovery.len() as f64);
+        t.counter("recovery.retries", self.recovery_retries);
+        t.counter("recovery.retries_blocked", self.recovery_retries_blocked);
+        t.counter(
+            "recovery.deferred_max_wait_checks",
+            self.recovery_deferred_max_wait,
+        );
         t.counter("recovery.oracle_reads", self.recovery_oracle_reads());
         t.counter("trace.dropped", self.trace.dropped());
         t.counter("rng.draws", self.rng.draw_count());
@@ -1094,6 +1191,21 @@ impl ClashCluster {
             .map(|island| island.iter().map(|id| id.value()).collect())
             .collect();
         self.transport.partition(&raw);
+    }
+
+    /// Replaces the transport's link policy for all future messages —
+    /// the gray-failure knob: latency/loss degrade (or recover) at
+    /// runtime without rebuilding the transport. Existing links keep
+    /// their sampled base propagation delay (see
+    /// [`Transport::set_policy`]). No-op on the instant transport.
+    pub fn set_link_policy(&mut self, policy: LinkPolicy) {
+        // Close the batch window first: ops planned under the old policy
+        // must be charged at the prices they were planned under. While
+        // partitioned the window is empty (batching is inert), so the
+        // flush cannot hit a severed link either way.
+        self.flush_batch()
+            .expect("flush before policy change cannot hit a severed link");
+        self.transport.set_policy(policy);
     }
 
     /// Heals any active network partition.
@@ -2772,7 +2884,9 @@ impl ClashCluster {
         self.invalidate_replicas(left, server_id);
         self.invalidate_replicas(right, right_holder);
         self.push_group_load(parent)?;
-        self.ensure_replicas(parent, server_id);
+        if !self.chaos_skip_merge_reseed {
+            self.ensure_replicas(parent, server_id);
+        }
         Ok(MergeOutcome::Merged(MergeRecord {
             server: server_id,
             parent,
@@ -3423,17 +3537,45 @@ impl ClashCluster {
             None if !candidates.is_empty() => {
                 // Replicas exist but every one sits behind the partition:
                 // defer. The group leaves the active cover until a later
-                // load check can reach a holder.
+                // load check can reach a holder. A retry that stays
+                // blocked (the entry already existed) bumps its wait
+                // count and logs a distinct event carrying the blocking
+                // partition's islands; a fresh deferral starts at zero.
+                let prior = self.pending_recovery.get(&group).copied();
+                let waited_checks = prior.map_or(0, |p| p.waited_checks + 1);
+                self.recovery_deferred_max_wait =
+                    self.recovery_deferred_max_wait.max(waited_checks);
                 self.global_index.remove(group);
                 self.pending_recovery.insert(
                     group,
                     PendingRecovery {
                         old_owner,
                         single_crash,
+                        waited_checks,
                     },
                 );
                 report.groups_deferred += 1;
-                if self.trace_on {
+                if prior.is_some() {
+                    self.recovery_retries_blocked += 1;
+                    if self.trace_on {
+                        let owner_island = self
+                            .transport
+                            .island_of(old_owner.value())
+                            .map_or(u64::MAX, u64::from);
+                        let coordinator_island = self
+                            .transport
+                            .island_of(new_owner.value())
+                            .map_or(u64::MAX, u64::from);
+                        self.emit(TraceEventKind::RecoveryRetryBlocked {
+                            failed: old_owner.value(),
+                            group_bits: group.pattern(),
+                            group_depth: group.depth(),
+                            owner_island,
+                            coordinator_island,
+                            waited_checks,
+                        });
+                    }
+                } else if self.trace_on {
                     self.emit(TraceEventKind::RecoveryDeferred {
                         failed: old_owner.value(),
                         group_bits: group.pattern(),
@@ -3518,6 +3660,7 @@ impl ClashCluster {
             let lost_before = tally.groups_lost;
             let sources_before = tally.sources_lost;
             let queries_before = tally.queries_lost;
+            self.recovery_retries += 1;
             match self.promote_or_defer(
                 group,
                 rec.old_owner,

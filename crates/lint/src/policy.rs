@@ -5,9 +5,10 @@
 //! determinism contract:
 //!
 //! * **Protocol crates** (`core`, `chord`, `keyspace`, `transport`,
-//!   `streamquery`, `workload`, `simkernel`) and the root facade `src/`
-//!   carry the full contract — their behavior is pinned bit-for-bit by the
-//!   shard-equivalence harness and the transport pins.
+//!   `streamquery`, `workload`, `simkernel`, `chaos`) and the root facade
+//!   `src/` carry the full contract — their behavior is pinned bit-for-bit
+//!   by the shard-equivalence harness and the transport pins, and the
+//!   chaos shrinker depends on replay determinism.
 //! * **Wall-clock crates** (`sim`, `bench`, `lint`, `obs`) may measure
 //!   wall-clock time — the harness crates because they time real runs,
 //!   `obs` because it is where the profiling clock reader
@@ -17,6 +18,9 @@
 //!   everywhere-rules (ambient RNG) apply.
 
 /// Crates whose behavior is covered by the bit-for-bit determinism pins.
+/// `chaos` is here because schedule shrinking is only sound if a
+/// campaign is a pure function of `(options, seed)` — the engine is
+/// clock-free, env-free, and thread-free with zero suppressions.
 pub const PROTOCOL_CRATES: &[&str] = &[
     "core",
     "chord",
@@ -25,6 +29,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "streamquery",
     "workload",
     "simkernel",
+    "chaos",
 ];
 
 /// Crates whose sources may read the wall clock (`Instant`,
@@ -104,6 +109,7 @@ mod tests {
     fn protocol_classification() {
         assert!(is_protocol("crates/core/src/cluster.rs"));
         assert!(is_protocol("crates/simkernel/src/rng.rs"));
+        assert!(is_protocol("crates/chaos/src/engine.rs"));
         assert!(is_protocol("src/lib.rs"));
         assert!(!is_protocol("crates/sim/src/driver.rs"));
         assert!(!is_protocol("crates/bench/src/lib.rs"));

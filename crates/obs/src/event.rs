@@ -109,6 +109,25 @@ pub enum TraceEventKind {
         /// Clients dropped with the state.
         clients_dropped: u64,
     },
+    /// A deferred recovery was retried during a load check but stayed
+    /// blocked — distinguishable in traces from a fresh deferral, and
+    /// carrying the partition islands that block it.
+    RecoveryRetryBlocked {
+        /// The failed server whose group is still waiting.
+        failed: u64,
+        /// Bits of the still-deferred group.
+        group_bits: u64,
+        /// Depth of the still-deferred group.
+        group_depth: u32,
+        /// Partition island of the failed (old owner) server's address,
+        /// `u64::MAX` when the network is not partitioned.
+        owner_island: u64,
+        /// Partition island of the retrying coordinator's address,
+        /// `u64::MAX` when the network is not partitioned.
+        coordinator_island: u64,
+        /// Load checks this entry has waited since it was deferred.
+        waited_checks: u64,
+    },
     /// A previously deferred group was re-promoted during a load check.
     RecoveryRetried {
         /// Bits of the recovered group.
@@ -178,6 +197,7 @@ impl TraceEventKind {
             TraceEventKind::ReplicaPromoted { .. } => "replica_promoted",
             TraceEventKind::RecoveryDeferred { .. } => "recovery_deferred",
             TraceEventKind::RecoveryLost { .. } => "recovery_lost",
+            TraceEventKind::RecoveryRetryBlocked { .. } => "recovery_retry_blocked",
             TraceEventKind::RecoveryRetried { .. } => "recovery_retried",
             TraceEventKind::FlushBegin { .. } => "flush_begin",
             TraceEventKind::FlushEnd { .. } => "flush_end",
@@ -204,7 +224,8 @@ impl TraceEventKind {
             TraceEventKind::ReplicaPromoted { new_owner, .. }
             | TraceEventKind::RecoveryRetried { new_owner, .. } => Some(new_owner),
             TraceEventKind::RecoveryDeferred { failed, .. }
-            | TraceEventKind::RecoveryLost { failed, .. } => Some(failed),
+            | TraceEventKind::RecoveryLost { failed, .. }
+            | TraceEventKind::RecoveryRetryBlocked { failed, .. } => Some(failed),
             TraceEventKind::FlushBegin { .. }
             | TraceEventKind::FlushEnd { .. }
             | TraceEventKind::LoadCheckBegin { .. }
@@ -300,6 +321,21 @@ impl TraceEventKind {
                 ("group_bits", Int(group_bits)),
                 ("group_depth", Int(u64::from(group_depth))),
                 ("clients_dropped", Int(clients_dropped)),
+            ],
+            TraceEventKind::RecoveryRetryBlocked {
+                failed,
+                group_bits,
+                group_depth,
+                owner_island,
+                coordinator_island,
+                waited_checks,
+            } => vec![
+                ("failed", Int(failed)),
+                ("group_bits", Int(group_bits)),
+                ("group_depth", Int(u64::from(group_depth))),
+                ("owner_island", Int(owner_island)),
+                ("coordinator_island", Int(coordinator_island)),
+                ("waited_checks", Int(waited_checks)),
             ],
             TraceEventKind::RecoveryRetried {
                 group_bits,
@@ -406,6 +442,14 @@ mod tests {
                 group_depth: 1,
                 clients_dropped: 12,
             },
+            TraceEventKind::RecoveryRetryBlocked {
+                failed: 9,
+                group_bits: 0,
+                group_depth: 1,
+                owner_island: 1,
+                coordinator_island: 0,
+                waited_checks: 3,
+            },
             TraceEventKind::RecoveryRetried {
                 group_bits: 0,
                 group_depth: 1,
@@ -435,7 +479,7 @@ mod tests {
             assert!(!k.args().is_empty(), "{} must carry payload", k.name());
             assert!(names.insert(k.name()), "duplicate name {}", k.name());
         }
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! without it each experiment keeps its historical hard-coded seed.
 
 use clash_sim::experiments::{
-    ablation, availability, churn, demos, depth_conv, fig3, fig4, fig5, netfault, servers_saved,
+    ablation, availability, chaos, churn, demos, depth_conv, fig3, fig4, fig5, netfault,
+    servers_saved,
 };
 use clash_sim::report;
 
@@ -79,6 +80,22 @@ fn main() {
     let av = availability::run_seeded(scale, seed).expect("availability failed");
     println!("{}", availability::render(&av));
     availability::write_csvs(&av, &out_dir).expect("write availability csv");
+
+    // Scale the campaign with the cell: 64 schedules at full scale, a
+    // handful in smoke runs.
+    let chaos_schedules = ((64.0 * scale).ceil() as u64).max(4);
+    eprintln!(
+        "[{:6.1}s] running chaos campaign of {chaos_schedules} schedules at scale {scale}...",
+        t0.elapsed().as_secs_f64()
+    );
+    let cc = chaos::run_seeded(scale, chaos_schedules, seed);
+    println!("{}", chaos::render(&cc));
+    chaos::write_outputs(&cc, &out_dir).expect("write chaos outputs");
+    assert!(
+        cc.report.failures.is_empty(),
+        "chaos campaign found {} invariant violation(s); repros in {out_dir}/",
+        cc.report.failures.len()
+    );
 
     eprintln!(
         "all experiments done in {:.1}s; CSVs in {out_dir}/",

@@ -1,0 +1,32 @@
+//! Chaos campaign binary: deterministic fault-injection schedules with
+//! invariant checking; failing schedules are shrunk to minimal repros.
+//!
+//! Usage: `chaos [--scale F] [--campaigns N] [--seed S] [--out DIR]`
+//!
+//! `--campaigns` sets the number of schedules in the campaign (default
+//! 64). Exits nonzero if any invariant was violated — after writing the
+//! `chaos_repro_<index>.json` repro files into the output directory.
+
+use clash_sim::experiments::chaos;
+use clash_sim::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = report::scale_arg(&args);
+    let seed = report::seed_arg(&args);
+    let out_dir = report::out_dir_arg(&args);
+    let schedules = report::flag_value(&args, "--campaigns")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(64);
+    eprintln!("running chaos campaign of {schedules} schedules at scale {scale}...");
+    let out = chaos::run_seeded(scale, schedules, seed);
+    println!("{}", chaos::render(&out));
+    chaos::write_outputs(&out, &out_dir).expect("write chaos outputs");
+    if !out.report.failures.is_empty() {
+        eprintln!(
+            "chaos: {} invariant violation(s); repro files written to {out_dir}/",
+            out.report.failures.len()
+        );
+        std::process::exit(1);
+    }
+}

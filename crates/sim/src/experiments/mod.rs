@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod availability;
+pub mod chaos;
 pub mod churn;
 pub mod demos;
 pub mod depth_conv;

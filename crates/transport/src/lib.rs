@@ -245,6 +245,25 @@ pub trait Transport: Send {
     /// Heals any active partition. Default: no-op.
     fn heal(&mut self) {}
 
+    /// Replaces the link policy in force for all *future* sends — the
+    /// gray-failure knob: a chaos schedule degrades latency/loss at
+    /// runtime without rebuilding the transport. Links that already
+    /// carried traffic keep their sampled per-link base delay (a link's
+    /// propagation path does not move when queueing conditions change);
+    /// the new policy governs jitter, loss, retries, and the bases of
+    /// links created afterwards. Default: no-op (the instant transport
+    /// has no policy to mutate).
+    fn set_policy(&mut self, _policy: LinkPolicy) {}
+
+    /// The partition island `addr` currently belongs to, or `None` while
+    /// the network is healed. Side-effect-free, like
+    /// [`Transport::reachable`]. Used by recovery diagnostics to name
+    /// the islands blocking a deferred recovery. Default: `None` (the
+    /// instant transport cannot be partitioned).
+    fn island_of(&self, _addr: NodeAddr) -> Option<u32> {
+        None
+    }
+
     /// True while a partition is in force.
     fn is_partitioned(&self) -> bool {
         false

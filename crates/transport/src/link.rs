@@ -403,6 +403,18 @@ impl Transport for LinkTransport {
     fn reachable(&self, src: NodeAddr, dst: NodeAddr) -> bool {
         self.partition.connected(src, dst)
     }
+
+    fn set_policy(&mut self, policy: LinkPolicy) {
+        policy.validate();
+        self.policy = policy;
+    }
+
+    fn island_of(&self, addr: NodeAddr) -> Option<u32> {
+        self.partition
+            .islands
+            .as_ref()
+            .map(|map| map.get(&addr).copied().unwrap_or(0))
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +619,118 @@ mod tests {
             .collect();
         t.send_batch(&sends, &mut out);
         assert_eq!(expected, out);
+    }
+
+    #[test]
+    fn rapid_sever_heal_flapping_does_not_double_charge() {
+        // Regression for link flapping: a sever → unreachable send →
+        // heal cycle must leave every link's state (RNG position, base
+        // delay) untouched, so post-heal traffic is charged exactly the
+        // latency a never-partitioned twin charges — no double-charged
+        // retries, no skipped draws.
+        let policy = LinkPolicy::lossy_wan(0.2);
+        let mut flappy = LinkTransport::new(policy, 31);
+        let mut calm = LinkTransport::new(policy, 31);
+        let islands: Vec<Vec<u64>> = vec![(0..4).collect(), (4..8).collect()];
+        let mut unreachable = 0u64;
+        for round in 0..50u64 {
+            flappy.partition(&islands);
+            assert_eq!(flappy.island_of(1), Some(0));
+            assert_eq!(flappy.island_of(5), Some(1));
+            assert_eq!(flappy.island_of(99), Some(0), "unlisted nodes → island 0");
+            // Mid-flap: the cross-island send is refused without touching
+            // link state or randomness.
+            let d = flappy.send(round % 4, 4 + round % 4, MessageClass::Probe);
+            assert!(!d.is_delivered());
+            unreachable += 1;
+            flappy.heal();
+            assert_eq!(flappy.island_of(1), None, "healed network has no islands");
+            // Post-heal traffic on the very link that was refused must
+            // match the never-partitioned twin delivery for delivery.
+            for _ in 0..3 {
+                let src = round % 4;
+                let dst = 4 + round % 4;
+                assert_eq!(
+                    flappy.send(src, dst, MessageClass::Probe),
+                    calm.send(src, dst, MessageClass::Probe),
+                    "flapping perturbed link state at round {round}"
+                );
+            }
+        }
+        let fs = flappy.stats();
+        let cs = calm.stats();
+        assert_eq!(fs.unreachable, unreachable);
+        assert_eq!(fs.messages, cs.messages);
+        assert_eq!(fs.retransmissions, cs.retransmissions);
+        assert_eq!(fs.total_latency_us, cs.total_latency_us);
+    }
+
+    #[test]
+    fn set_policy_governs_future_sends() {
+        // Degrade a clean LAN into a lossy link at runtime: the policy
+        // swap is visible to future sends (retries appear) and is
+        // reversible (restoring the old policy restores clean delivery).
+        let clean = LinkPolicy {
+            latency: LatencyModel::Zero,
+            drop_probability: 0.0,
+            retry_timeout: SimDuration::from_millis(100),
+            max_retries: 4,
+        };
+        let mut t = LinkTransport::new(clean, 41);
+        for i in 0..100u64 {
+            let d = t.send(i % 4, 100, MessageClass::Probe);
+            assert_eq!(d.latency(), Some(SimDuration::ZERO));
+        }
+        assert_eq!(t.stats().retransmissions, 0);
+        t.set_policy(LinkPolicy {
+            drop_probability: 0.9,
+            ..clean
+        });
+        assert_eq!(t.policy().drop_probability, 0.9);
+        for i in 0..100u64 {
+            t.send(i % 4, 100, MessageClass::Probe);
+        }
+        let degraded = t.stats().retransmissions;
+        assert!(degraded > 100, "p=0.9 must force retries: {degraded}");
+        t.set_policy(clean);
+        for i in 0..100u64 {
+            let d = t.send(i % 4, 100, MessageClass::Probe);
+            assert_eq!(d.latency(), Some(SimDuration::ZERO));
+        }
+        assert_eq!(t.stats().retransmissions, degraded, "clean again");
+    }
+
+    #[test]
+    fn set_policy_keeps_existing_wan_link_bases() {
+        // A link's base propagation delay is part of its identity: a
+        // runtime policy mutation (gray failure) must not resample it.
+        let wan = LinkPolicy::wan();
+        let mut t = LinkTransport::new(wan, 51);
+        let no_jitter = LinkPolicy {
+            latency: LatencyModel::Wan {
+                base_lo: SimDuration::from_millis(20),
+                base_hi: SimDuration::from_millis(120),
+                jitter_mean: SimDuration::ZERO,
+            },
+            ..wan
+        };
+        t.set_policy(no_jitter);
+        let first = t.send(1, 2, MessageClass::Probe).latency().unwrap();
+        let again = t.send(1, 2, MessageClass::Probe).latency().unwrap();
+        assert_eq!(first, again, "zero jitter exposes the stable base");
+        t.set_policy(wan);
+        let with_jitter = t.send(1, 2, MessageClass::Probe).latency().unwrap();
+        assert!(with_jitter >= first, "same base, jitter only adds");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn set_policy_validates() {
+        let mut t = LinkTransport::new(LinkPolicy::lan(), 1);
+        t.set_policy(LinkPolicy {
+            drop_probability: 1.5,
+            ..LinkPolicy::lan()
+        });
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! The fault-event vocabulary for adversarial scenarios.
+//!
+//! ROADMAP item 5 asks for an adversarial scenario matrix — cascading
+//! correlated failures, partition storms, flash crowds against one
+//! prefix. This module names the fault shapes; the `clash-chaos` crate
+//! composes them into seed-derived schedules, injects them through the
+//! cluster harness, and shrinks failing schedules to minimal repros.
+//!
+//! Events carry raw numbers only (victim counts, permille rates, prefix
+//! bits) — no cluster references — so a schedule is trivially
+//! serializable and replayable: [`FaultKind::params`] /
+//! [`FaultKind::from_parts`] give a lossless name + numeric-field
+//! round trip that the chaos repro files are built on.
+
+/// One fault (or breathing step) of a chaos schedule.
+///
+/// The numeric fields are *budgets*, not absolute ids: "crash 3
+/// servers" rather than "crash servers {4, 9, 11}". Which concrete
+/// victims, islands, or keys an event resolves to is derived
+/// deterministically from the schedule seed at injection time, so the
+/// same schedule replays identically and a shrunk schedule stays
+/// meaningful after earlier events are removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash `victims` servers picked independently at random — the
+    /// uncorrelated burst the availability experiment already sweeps.
+    CrashBurst {
+        /// Servers to crash.
+        victims: u32,
+    },
+    /// Crash one random victim *and* its `span - 1` ring successors —
+    /// the correlated failure that lands squarely on the victim's
+    /// successor-list replica set (the hardest case for recovery).
+    RingCorrelatedCrash {
+        /// Total servers crashed (victim + successors).
+        span: u32,
+    },
+    /// Sever the network into `islands` random islands. Stacks with
+    /// later partitions (each re-severs from the current membership):
+    /// a sequence of these is a rolling partition storm.
+    PartitionStorm {
+        /// Island count (≥ 2 to actually cut anything).
+        islands: u32,
+    },
+    /// `cycles` rapid sever/heal cycles ending healed — link flapping.
+    /// Each cycle cuts a fresh random bisection and heals it
+    /// immediately, racing the retry/deferral machinery.
+    LinkFlap {
+        /// Sever/heal cycles.
+        cycles: u32,
+    },
+    /// Gray failure: degrade every link's policy in place — add
+    /// `drop_permille`/1000 transmission loss and `extra_latency_ms`
+    /// of constant extra delay on top of the baseline policy. The
+    /// links stay up; everything just gets slow and lossy.
+    GrayDegrade {
+        /// Added per-transmission drop probability, in permille (capped
+        /// below 1000 by the injector).
+        drop_permille: u32,
+        /// Added constant per-message latency, in milliseconds.
+        extra_latency_ms: u32,
+    },
+    /// Restore the baseline link policy (ends a gray failure).
+    GrayRecover,
+    /// A churn avalanche: `joins` joins and `leaves` graceful leaves,
+    /// interleaved.
+    ChurnAvalanche {
+        /// Servers joining.
+        joins: u32,
+        /// Servers draining and leaving.
+        leaves: u32,
+    },
+    /// A flash crowd: `sources` new sources attach under the single
+    /// key prefix `(prefix_bits, prefix_depth)` — concentrated load
+    /// against one subtree.
+    FlashCrowd {
+        /// Left-aligned prefix bit pattern (raw, width-agnostic).
+        prefix_bits: u64,
+        /// Prefix depth the bits are meaningful to.
+        prefix_depth: u32,
+        /// Sources attached under the prefix.
+        sources: u32,
+    },
+    /// A source exodus: `sources` random attached sources detach — the
+    /// flash crowd dissipating. Load drops, which is what drives merges
+    /// (the fault surface split/merge re-replication bugs live on).
+    SourceExodus {
+        /// Sources detached.
+        sources: u32,
+    },
+    /// Heal any active partition.
+    Heal,
+    /// Run `count` load checks — the breathing room between faults,
+    /// and the convergence window after the last one.
+    LoadChecks {
+        /// Load checks to run.
+        count: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable class label, used in campaign report tables and as the
+    /// event name in serialized schedules.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::CrashBurst { .. } => "crash_burst",
+            FaultKind::RingCorrelatedCrash { .. } => "ring_correlated_crash",
+            FaultKind::PartitionStorm { .. } => "partition_storm",
+            FaultKind::LinkFlap { .. } => "link_flap",
+            FaultKind::GrayDegrade { .. } => "gray_degrade",
+            FaultKind::GrayRecover => "gray_recover",
+            FaultKind::ChurnAvalanche { .. } => "churn_avalanche",
+            FaultKind::FlashCrowd { .. } => "flash_crowd",
+            FaultKind::SourceExodus { .. } => "source_exodus",
+            FaultKind::Heal => "heal",
+            FaultKind::LoadChecks { .. } => "load_checks",
+        }
+    }
+
+    /// All class labels, in [`FaultKind::class_index`] order — the
+    /// campaign report's per-class fault accounting rows.
+    pub const CLASS_LABELS: [&'static str; 11] = [
+        "crash_burst",
+        "ring_correlated_crash",
+        "partition_storm",
+        "link_flap",
+        "gray_degrade",
+        "gray_recover",
+        "churn_avalanche",
+        "flash_crowd",
+        "source_exodus",
+        "heal",
+        "load_checks",
+    ];
+
+    /// Stable index into per-class accounting arrays.
+    #[must_use]
+    pub fn class_index(self) -> usize {
+        match self {
+            FaultKind::CrashBurst { .. } => 0,
+            FaultKind::RingCorrelatedCrash { .. } => 1,
+            FaultKind::PartitionStorm { .. } => 2,
+            FaultKind::LinkFlap { .. } => 3,
+            FaultKind::GrayDegrade { .. } => 4,
+            FaultKind::GrayRecover => 5,
+            FaultKind::ChurnAvalanche { .. } => 6,
+            FaultKind::FlashCrowd { .. } => 7,
+            FaultKind::SourceExodus { .. } => 8,
+            FaultKind::Heal => 9,
+            FaultKind::LoadChecks { .. } => 10,
+        }
+    }
+
+    /// True for the events that inject an actual fault (the campaign
+    /// report's "faults injected" count excludes breathing steps).
+    #[must_use]
+    pub fn is_fault(self) -> bool {
+        !matches!(
+            self,
+            FaultKind::GrayRecover | FaultKind::Heal | FaultKind::LoadChecks { .. }
+        )
+    }
+
+    /// The event's numeric payload as stable `(name, value)` pairs —
+    /// with [`FaultKind::label`], a lossless wire form.
+    #[must_use]
+    pub fn params(self) -> Vec<(&'static str, u64)> {
+        match self {
+            FaultKind::CrashBurst { victims } => vec![("victims", u64::from(victims))],
+            FaultKind::RingCorrelatedCrash { span } => vec![("span", u64::from(span))],
+            FaultKind::PartitionStorm { islands } => vec![("islands", u64::from(islands))],
+            FaultKind::LinkFlap { cycles } => vec![("cycles", u64::from(cycles))],
+            FaultKind::GrayDegrade {
+                drop_permille,
+                extra_latency_ms,
+            } => vec![
+                ("drop_permille", u64::from(drop_permille)),
+                ("extra_latency_ms", u64::from(extra_latency_ms)),
+            ],
+            FaultKind::GrayRecover | FaultKind::Heal => vec![],
+            FaultKind::ChurnAvalanche { joins, leaves } => {
+                vec![("joins", u64::from(joins)), ("leaves", u64::from(leaves))]
+            }
+            FaultKind::FlashCrowd {
+                prefix_bits,
+                prefix_depth,
+                sources,
+            } => vec![
+                ("prefix_bits", prefix_bits),
+                ("prefix_depth", u64::from(prefix_depth)),
+                ("sources", u64::from(sources)),
+            ],
+            FaultKind::SourceExodus { sources } => vec![("sources", u64::from(sources))],
+            FaultKind::LoadChecks { count } => vec![("count", u64::from(count))],
+        }
+    }
+
+    /// Rebuilds an event from its [`FaultKind::label`] and
+    /// [`FaultKind::params`] pairs (order-insensitive). `None` for an
+    /// unknown label or missing field — the schedule parser surfaces
+    /// that as a malformed-repro error.
+    #[must_use]
+    pub fn from_parts(label: &str, params: &[(String, u64)]) -> Option<FaultKind> {
+        let get = |name: &str| params.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        let get32 = |name: &str| get(name).map(|v| v as u32);
+        Some(match label {
+            "crash_burst" => FaultKind::CrashBurst {
+                victims: get32("victims")?,
+            },
+            "ring_correlated_crash" => FaultKind::RingCorrelatedCrash {
+                span: get32("span")?,
+            },
+            "partition_storm" => FaultKind::PartitionStorm {
+                islands: get32("islands")?,
+            },
+            "link_flap" => FaultKind::LinkFlap {
+                cycles: get32("cycles")?,
+            },
+            "gray_degrade" => FaultKind::GrayDegrade {
+                drop_permille: get32("drop_permille")?,
+                extra_latency_ms: get32("extra_latency_ms")?,
+            },
+            "gray_recover" => FaultKind::GrayRecover,
+            "churn_avalanche" => FaultKind::ChurnAvalanche {
+                joins: get32("joins")?,
+                leaves: get32("leaves")?,
+            },
+            "flash_crowd" => FaultKind::FlashCrowd {
+                prefix_bits: get("prefix_bits")?,
+                prefix_depth: get32("prefix_depth")?,
+                sources: get32("sources")?,
+            },
+            "source_exodus" => FaultKind::SourceExodus {
+                sources: get32("sources")?,
+            },
+            "heal" => FaultKind::Heal,
+            "load_checks" => FaultKind::LoadChecks {
+                count: get32("count")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_kind() -> Vec<FaultKind> {
+        vec![
+            FaultKind::CrashBurst { victims: 3 },
+            FaultKind::RingCorrelatedCrash { span: 4 },
+            FaultKind::PartitionStorm { islands: 3 },
+            FaultKind::LinkFlap { cycles: 5 },
+            FaultKind::GrayDegrade {
+                drop_permille: 250,
+                extra_latency_ms: 40,
+            },
+            FaultKind::GrayRecover,
+            FaultKind::ChurnAvalanche {
+                joins: 2,
+                leaves: 3,
+            },
+            FaultKind::FlashCrowd {
+                prefix_bits: 0b1011 << 60,
+                prefix_depth: 4,
+                sources: 500,
+            },
+            FaultKind::SourceExodus { sources: 200 },
+            FaultKind::Heal,
+            FaultKind::LoadChecks { count: 2 },
+        ]
+    }
+
+    #[test]
+    fn labels_are_distinct_and_indexed() {
+        let kinds = every_kind();
+        assert_eq!(kinds.len(), FaultKind::CLASS_LABELS.len());
+        let mut seen = [false; FaultKind::CLASS_LABELS.len()];
+        for k in kinds {
+            let i = k.class_index();
+            assert!(!seen[i], "duplicate class index for {}", k.label());
+            seen[i] = true;
+            assert_eq!(FaultKind::CLASS_LABELS[i], k.label());
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn params_round_trip_losslessly() {
+        for kind in every_kind() {
+            let owned: Vec<(String, u64)> = kind
+                .params()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
+            assert_eq!(
+                FaultKind::from_parts(kind.label(), &owned),
+                Some(kind),
+                "{} must round-trip",
+                kind.label()
+            );
+        }
+        assert_eq!(FaultKind::from_parts("no_such_fault", &[]), None);
+        assert_eq!(
+            FaultKind::from_parts("crash_burst", &[]),
+            None,
+            "missing field is malformed, not defaulted"
+        );
+    }
+
+    #[test]
+    fn breathing_steps_are_not_faults() {
+        for kind in every_kind() {
+            let breathing = matches!(
+                kind,
+                FaultKind::GrayRecover | FaultKind::Heal | FaultKind::LoadChecks { .. }
+            );
+            assert_eq!(kind.is_fault(), !breathing, "{}", kind.label());
+        }
+    }
+}

@@ -43,11 +43,13 @@
 // lock that in — determinism reasoning assumes no aliasing backdoors.
 #![forbid(unsafe_code)]
 pub mod churn;
+pub mod fault;
 pub mod scenario;
 pub mod skew;
 pub mod source;
 
 pub use churn::{ChurnSpec, FlashCrowd};
+pub use fault::FaultKind;
 pub use scenario::{Phase, ScenarioSpec};
 pub use skew::{Workload, WorkloadKind};
 pub use source::{QueryClientModel, SourceModel};

@@ -13,6 +13,7 @@
 //! | [`workload`] | the paper's §6 workloads A–D and arrival scenarios |
 //! | [`streamquery`] | continuous queries over placed streams (§6 application) |
 //! | [`core`] | the protocol: `ServerTable`, split/merge, depth search, cluster harness (§4–5) |
+//! | [`chaos`] | deterministic fault-injection campaigns, invariants, schedule shrinking |
 //! | [`sim`] | the figure-by-figure experiment driver |
 //!
 //! # Quick start
@@ -29,6 +30,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use clash_chaos as chaos;
 pub use clash_chord as chord;
 pub use clash_core as core;
 pub use clash_keyspace as keyspace;

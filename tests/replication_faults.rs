@@ -132,9 +132,14 @@ fn crash_while_partitioned_defers_and_heals_to_full_agreement() {
         c.locate(probe).is_err(),
         "a deferred group's keys must not resolve"
     );
+    assert_eq!(c.recovery_retry_counters(), (0, 0), "no load check yet");
     c.run_load_check().unwrap();
     assert_eq!(c.pending_recoveries(), report.groups_deferred);
     c.verify_consistency();
+    // The blocked retry is counted, not silent: one attempt per deferred
+    // group, all of them blocked.
+    let deferred = report.groups_deferred as u64;
+    assert_eq!(c.recovery_retry_counters(), (deferred, deferred));
 
     // Heal: the next load check promotes every deferred group, and the
     // whole key space agrees with the oracle again — pinned at 100%.
@@ -144,6 +149,23 @@ fn crash_while_partitioned_defers_and_heals_to_full_agreement() {
     assert_eq!(check.recoveries_lost, 0);
     assert_eq!(c.pending_recoveries(), 0);
     assert_eq!(c.recovery_oracle_reads(), 0);
+    // Retry conservation: every retry attempt landed in exactly one of
+    // blocked / completed / lost, and the counters surface in telemetry.
+    let (retries, blocked) = c.recovery_retry_counters();
+    assert_eq!(
+        retries,
+        blocked + check.recoveries_completed + check.recoveries_lost,
+        "retry conservation"
+    );
+    assert_eq!((retries, blocked), (2 * deferred, deferred));
+    let t = c.telemetry();
+    assert_eq!(t.counter_value("recovery.retries"), Some(retries));
+    assert_eq!(t.counter_value("recovery.retries_blocked"), Some(blocked));
+    assert_eq!(
+        t.counter_value("recovery.deferred_max_wait_checks"),
+        Some(1),
+        "each entry waited exactly one blocked check"
+    );
     c.verify_consistency();
     assert!(c.global_cover().is_partition());
     assert_eq!(c.source_count(), sources_before, "no client was lost");
@@ -452,6 +474,90 @@ fn cross_shard_crash_promotes_like_sequential_and_heals() {
     sharded.verify_consistency();
     assert!(sharded.global_cover().is_partition());
     assert_full_oracle_agreement(&mut sharded);
+}
+
+/// Rapid partition flapping around a deferred recovery: severing and
+/// healing between (and across) load checks must never strand a
+/// `pending_recovery` entry — the first check that runs on a healed
+/// network drains it — and the retry counters stay conserved through
+/// every flap.
+#[test]
+fn partition_flapping_drains_pending_recovery() {
+    let mut c = lan_cluster(1, 11);
+    let (victim, join_id) = c
+        .server_ids()
+        .into_iter()
+        .find_map(|id| {
+            let owns = c.server(id).unwrap().table().active_count() > 0;
+            let succ = c.net().alive_successors(id, 1);
+            let gap = succ.first().is_some_and(|s| {
+                s.value().wrapping_sub(id.value()) & c.config().hash_space.mask() > 1
+            });
+            (owns && gap).then(|| (id, ServerId::new(id.value() + 1, c.config().hash_space)))
+        })
+        .expect("some owner has a successor gap");
+    let old_holder = c.net().alive_successors(victim, 1)[0];
+    let others: Vec<ServerId> = c
+        .server_ids()
+        .into_iter()
+        .filter(|&id| id != victim && id != old_holder)
+        .chain(std::iter::once(join_id))
+        .collect();
+    let islands = [vec![victim, old_holder], others];
+    c.partition_network(&islands);
+    c.join_server(join_id).unwrap();
+    let report = c.fail_server(victim).unwrap();
+    assert!(report.groups_deferred > 0, "setup must defer: {report:?}");
+    let deferred = report.groups_deferred as u64;
+
+    // Flap: heal and immediately re-sever (no load check in between) —
+    // the retry window never opens, nothing changes hands.
+    let flap_islands = [islands[0].clone(), islands[1].clone()];
+    for _ in 0..4 {
+        c.heal_partition();
+        c.partition_network(&flap_islands);
+    }
+    assert_eq!(c.pending_recoveries(), report.groups_deferred);
+    c.verify_consistency();
+
+    // Flap *across* retry windows: each severed check blocks, each
+    // healed moment is immediately re-cut before the next check runs.
+    for _ in 0..2 {
+        c.run_load_check().unwrap();
+        assert_eq!(c.pending_recoveries(), report.groups_deferred);
+        c.heal_partition();
+        c.partition_network(&flap_islands);
+    }
+    let (retries, blocked) = c.recovery_retry_counters();
+    assert_eq!((retries, blocked), (2 * deferred, 2 * deferred));
+    c.verify_consistency();
+
+    // Final heal: the very next check drains every pending entry.
+    c.heal_partition();
+    let check = c.run_load_check().unwrap();
+    assert_eq!(check.recoveries_completed, deferred);
+    assert_eq!(check.recoveries_lost, 0);
+    assert_eq!(
+        c.pending_recoveries(),
+        0,
+        "flapping must not strand entries"
+    );
+    let (retries, blocked) = c.recovery_retry_counters();
+    assert_eq!(
+        retries,
+        blocked + check.recoveries_completed + check.recoveries_lost,
+        "retry conservation across flaps"
+    );
+    assert_eq!(
+        c.telemetry()
+            .counter_value("recovery.deferred_max_wait_checks"),
+        Some(2),
+        "two blocked checks is the longest any entry waited"
+    );
+    assert_eq!(c.recovery_oracle_reads(), 0);
+    c.verify_consistency();
+    assert!(c.global_cover().is_partition());
+    assert_full_oracle_agreement(&mut c);
 }
 
 /// `fail_servers` input validation is part of the public contract.
